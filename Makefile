@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz results quick-results clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Short fuzz pass over every fuzz target (stdlib fuzzing, no deps).
+fuzz:
+	$(GO) test -fuzz FuzzPledgeList -fuzztime 15s ./internal/protocol
+	$(GO) test -fuzz FuzzRunQueue -fuzztime 15s ./internal/agile/sched
+	$(GO) test -fuzz FuzzCUS -fuzztime 15s ./internal/agile/sched
+	$(GO) test -fuzz FuzzMeshMetrics -fuzztime 15s ./internal/topology
+	$(GO) test -fuzz FuzzRemoveNodeLinks -fuzztime 15s ./internal/topology
+
+# Regenerate the checked-in experiment outputs (several minutes).
+results:
+	$(GO) run ./cmd/realtor-report -out results
+
+# CI-sized version of the same.
+quick-results:
+	$(GO) run ./cmd/realtor-report -quick -out results
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,180 @@
+// Benchmark harness: one benchmark per figure of the paper's evaluation.
+// Each benchmark regenerates its figure's data at a reduced (but
+// shape-preserving) scale and reports the figure's headline values as
+// custom benchmark metrics, so `go test -bench .` doubles as a compact
+// reproduction report. The full-scale tables come from cmd/realtor-sim
+// and cmd/realtor-cluster (see EXPERIMENTS.md).
+package main
+
+import (
+	"testing"
+	"time"
+
+	"realtor/internal/agile"
+	"realtor/internal/attack"
+	"realtor/internal/engine"
+	"realtor/internal/experiment"
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/transportfactory"
+	"realtor/internal/workload"
+)
+
+// benchSweep runs the five-protocol sweep once per iteration and reports
+// the chosen metric for REALTOR and the Push-1 reference at λ=7.
+func benchSweep(b *testing.B, m experiment.Metric) {
+	b.Helper()
+	sc := experiment.FigureSweep([]float64{7}, 800, 1)
+	protos := experiment.StandardProtocols(protocol.DefaultConfig())
+	var series []experiment.Series
+	for i := 0; i < b.N; i++ {
+		sc.BaseSeed = int64(i + 1)
+		series = experiment.RunSweep(sc, protos)
+	}
+	for _, s := range series {
+		switch s.Label {
+		case "REALTOR-100":
+			b.ReportMetric(metricOf(s, m), "REALTOR@λ7")
+		case "Push-1":
+			b.ReportMetric(metricOf(s, m), "Push1@λ7")
+		}
+	}
+}
+
+func metricOf(s experiment.Series, m experiment.Metric) float64 {
+	p := s.Points[0]
+	switch m {
+	case experiment.Admission:
+		return p.Admission.Mean()
+	case experiment.MessageUnits:
+		return p.MessageUnits.Mean()
+	case experiment.CostPerTask:
+		return p.CostPerTask.Mean()
+	default:
+		return p.MigrationRate.Mean()
+	}
+}
+
+// BenchmarkFig5AdmissionProbability regenerates Figure 5's data point at
+// λ=7 for all five protocols.
+func BenchmarkFig5AdmissionProbability(b *testing.B) {
+	benchSweep(b, experiment.Admission)
+}
+
+// BenchmarkFig6MessageCount regenerates Figure 6's data point at λ=7.
+func BenchmarkFig6MessageCount(b *testing.B) {
+	benchSweep(b, experiment.MessageUnits)
+}
+
+// BenchmarkFig7CostPerTask regenerates Figure 7's data point at λ=7.
+func BenchmarkFig7CostPerTask(b *testing.B) {
+	benchSweep(b, experiment.CostPerTask)
+}
+
+// BenchmarkFig8MigrationRate regenerates Figure 8's data point at λ=7.
+func BenchmarkFig8MigrationRate(b *testing.B) {
+	benchSweep(b, experiment.MigrationRate)
+}
+
+// BenchmarkFig9LiveCluster measures REALTOR's admission probability on
+// the live goroutine cluster (the paper's 20-host measurement, Figure 9)
+// at one overloaded rate.
+func BenchmarkFig9LiveCluster(b *testing.B) {
+	cfg := agile.DefaultConfig()
+	cfg.Hosts = 10
+	cfg.TimeScale = 1000
+	cfg.NegotiationTimeout = 100 * time.Millisecond
+	mk, err := transportfactory.New("chan")
+	if err != nil {
+		b.Fatal(err)
+	}
+	admission := 0.0
+	for i := 0; i < b.N; i++ {
+		pts, err := agile.RunFigure9(cfg, []float64{5}, 5, 200, int64(i+1), mk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		admission = pts[0].Stats.AdmissionProbability()
+	}
+	b.ReportMetric(admission, "admission@λ5")
+}
+
+// BenchmarkAttackSurvivability runs the A1 extension: REALTOR under a
+// mid-run regional attack, reporting overall admission.
+func BenchmarkAttackSurvivability(b *testing.B) {
+	admission := 0.0
+	for i := 0; i < b.N; i++ {
+		cfg := engine.Config{
+			Graph:               topology.Mesh(5, 5),
+			QueueCapacity:       100,
+			HopDelay:            0.01,
+			Threshold:           0.9,
+			Warmup:              100,
+			Duration:            900,
+			Seed:                int64(i + 1),
+			RerouteDeadArrivals: true,
+		}
+		p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+		e := engine.New(cfg, p.Build)
+		attack.Region{Rows: 5, Cols: 5, R0: 0, R1: 2, C0: 0, C1: 2,
+			At: 300, Revive: 600}.Apply(e)
+		src := workload.NewPoisson(5, 5, 25, rng.New(int64(i+1)))
+		admission = e.Run(src).AdmissionProbability()
+	}
+	b.ReportMetric(admission, "admission")
+}
+
+// BenchmarkScaleOverhead runs the A2 extension at two mesh sizes with
+// 2-hop scoped floods (the multicast-group mechanism Section 5 assumes)
+// and reports REALTOR's per-node overhead ratio (large/small); ≈1
+// supports the paper's system-size-independence claim.
+func BenchmarkScaleOverhead(b *testing.B) {
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+	ratio := 0.0
+	for i := 0; i < b.N; i++ {
+		pts := experiment.RunScale([]int{4, 7}, 0.18, 2, p, int64(i+1))
+		if pts[0].UnitsPerNodeSec > 0 {
+			ratio = pts[1].UnitsPerNodeSec / pts[0].UnitsPerNodeSec
+		}
+	}
+	b.ReportMetric(ratio, "units/node-ratio-49v16")
+}
+
+// BenchmarkAblationAlphaBeta runs the A3 extension: one α/β cell of the
+// Algorithm H sensitivity study per iteration.
+func BenchmarkAblationAlphaBeta(b *testing.B) {
+	cost := 0.0
+	for i := 0; i < b.N; i++ {
+		pts := experiment.RunAlphaBeta([]float64{0.5}, []float64{0.5}, 7, int64(i+1))
+		cost = pts[0].CostPerTask
+	}
+	b.ReportMetric(cost, "units/task")
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed: simulated task
+// arrivals processed per wall second under REALTOR at λ=7.
+func BenchmarkEngineThroughput(b *testing.B) {
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+	b.ReportAllocs()
+	tasks := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := engine.Config{
+			Graph:         topology.Mesh(5, 5),
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        0,
+			Duration:      200,
+			Seed:          int64(i + 1),
+		}
+		e := engine.New(cfg, p.Build)
+		st := e.Run(workload.NewPoisson(7, 5, 25, rng.New(int64(i+1))))
+		tasks += st.Offered
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+	}
+}

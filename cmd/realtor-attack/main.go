@@ -1,0 +1,114 @@
+// Command realtor-attack runs the survivability extension (A1 in
+// DESIGN.md): it subjects each discovery protocol to an attack scenario
+// and reports overall and per-interval admission, showing the dip during
+// the attack and the recovery after it — the paper's motivating use case.
+//
+// Usage:
+//
+//	realtor-attack                              # random 8-node kill
+//	realtor-attack -scenario region             # 2x2 corner of the mesh
+//	realtor-attack -scenario flap               # one flapping node
+//	realtor-attack -scenario exhaust            # resource-exhaustion attack
+//	realtor-attack -lambda 5 -reroute=false     # drop arrivals at dead nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"realtor/internal/attack"
+	"realtor/internal/engine"
+	"realtor/internal/experiment"
+	"realtor/internal/plot"
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "random", "attack: random|region|flap|exhaust")
+	lambda := flag.Float64("lambda", 5, "task arrival rate")
+	reroute := flag.Bool("reroute", true, "reroute arrivals hitting dead nodes")
+	seed := flag.Int64("seed", 1, "random seed")
+	asPlot := flag.Bool("plot", false, "draw the admission timelines as an ASCII chart")
+	flag.Parse()
+
+	const (
+		duration = 900
+		attackAt = 300
+		recover  = 600
+		binWidth = 100
+	)
+
+	sc, ok := scenarios(*seed)[*scenario]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "realtor-attack: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# Survivability: scenario=%s, λ=%g, attack at t=%d, recovery at t=%d\n",
+		sc.Name(), *lambda, attackAt, recover)
+	if !*asPlot {
+		fmt.Printf("%-14s%-10s", "protocol", "overall")
+		for t := 0; t < duration; t += binWidth {
+			fmt.Printf("  [%d,%d)", t, t+binWidth)
+		}
+		fmt.Println()
+	}
+
+	var curves []plot.Series
+	for _, p := range experiment.StandardProtocols(protocol.DefaultConfig()) {
+		cfg := engine.Config{
+			Graph:               topology.Mesh(5, 5),
+			QueueCapacity:       100,
+			HopDelay:            0.01,
+			Threshold:           0.9,
+			Warmup:              100,
+			Duration:            duration,
+			Seed:                *seed,
+			RerouteDeadArrivals: *reroute,
+			BinWidth:            binWidth,
+		}
+		e := engine.New(cfg, p.Build)
+		sc.Apply(e)
+		src := workload.NewPoisson(*lambda, 5, cfg.Graph.N(), rng.New(*seed))
+		st := e.Run(src)
+		if *asPlot {
+			var xs, ys []float64
+			for _, b := range e.Bins() {
+				xs = append(xs, float64(b.Start)+binWidth/2)
+				ys = append(ys, b.AdmissionProbability())
+			}
+			curves = append(curves, plot.Series{Label: p.Label, X: xs, Y: ys})
+			continue
+		}
+		fmt.Printf("%-14s%-10.4f", p.Label, st.AdmissionProbability())
+		for _, b := range e.Bins() {
+			fmt.Printf("  %7.4f", b.AdmissionProbability())
+		}
+		fmt.Println()
+	}
+	if *asPlot {
+		fmt.Print(plot.Render(plot.Config{
+			Width: 72, Height: 16,
+			Title:  "admission per interval (attack window in the middle third)",
+			XLabel: "simulated time (s)", YLabel: "admission probability",
+		}, curves...))
+	}
+}
+
+func scenarios(seed int64) map[string]attack.Scenario {
+	return map[string]attack.Scenario{
+		"random": attack.RandomKill{Count: 8, N: 25, At: 300, Revive: 600, Seed: seed},
+		"region": attack.Region{Rows: 5, Cols: 5, R0: 0, R1: 2, C0: 0, C1: 2,
+			At: 300, Revive: 600},
+		"flap": attack.Flap{Target: 12, Start: 300, DownFor: 15, UpFor: 15, Until: 600},
+		"exhaust": attack.Composite{Label: "exhaust-3", Parts: []attack.Scenario{
+			attack.Exhaust{Target: 6, At: 300, Until: 600, Interval: 1, Chunk: 30},
+			attack.Exhaust{Target: 12, At: 300, Until: 600, Interval: 1, Chunk: 30},
+			attack.Exhaust{Target: 18, At: 300, Until: 600, Interval: 1, Chunk: 30},
+		}},
+	}
+}

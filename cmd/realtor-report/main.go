@@ -1,0 +1,175 @@
+// Command realtor-report regenerates the full experiment suite into a
+// results directory: every paper figure plus every extension study, each
+// as a standalone text file, with an index. It is what produced the
+// checked-in results/ directory.
+//
+// Usage:
+//
+//	realtor-report                  # full-scale runs into ./results
+//	realtor-report -quick           # shorter runs (CI-sized)
+//	realtor-report -out /tmp/res    # elsewhere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"realtor/internal/agile"
+	"realtor/internal/experiment"
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/transportfactory"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "shorter runs")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+
+	duration := 3000.0
+	reps := 3
+	liveDur := 300.0
+	liveScale := 100.0
+	if *quick {
+		duration, reps, liveDur, liveScale = 800, 1, 150, 400
+	}
+
+	var index []string
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "realtor-report:", err)
+			os.Exit(1)
+		}
+		index = append(index, name)
+		fmt.Println("wrote", path)
+	}
+
+	pcfg := protocol.DefaultConfig()
+	protos := experiment.StandardProtocols(pcfg)
+
+	// Figures 5–8.
+	sc := experiment.DefaultSweep()
+	sc.Engine.Duration = sim.Time(duration)
+	sc.Engine.Warmup = sim.Time(duration) / 10
+	sc.Replications = reps
+	sc.BaseSeed = *seed
+	series := experiment.RunSweep(sc, protos)
+	var figs strings.Builder
+	fmt.Fprintf(&figs, "# 5x5 mesh, queue=100s, task mean=5s, duration=%gs, %d replications\n",
+		duration, reps)
+	for i, m := range []experiment.Metric{experiment.Admission, experiment.MessageUnits,
+		experiment.CostPerTask, experiment.MigrationRate} {
+		fmt.Fprintf(&figs, "\n## Figure %d: %s\n", 5+i, m)
+		figs.WriteString(experiment.Table(series, m))
+	}
+	write("figures_5_8.txt", figs.String())
+
+	// Figure 9 (live).
+	mk, err := transportfactory.New("chan")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	acfg := agile.DefaultConfig()
+	acfg.TimeScale = liveScale
+	acfg.NegotiationTimeout = 250 * time.Millisecond
+	f9, err := agile.RunFigure9(acfg, []float64{1, 2, 3, 4, 5, 6, 7, 8}, 5, liveDur, *seed, mk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	write("figure_9.txt",
+		fmt.Sprintf("# Figure 9: live cluster, %d hosts, queue=%gs, %gx scale\n%s",
+			acfg.Hosts, acfg.QueueCapacity, acfg.TimeScale, agile.F9Table(f9)))
+
+	// Extension studies.
+	write("scale.txt",
+		"# A2 (a) system-wide floods:\n"+
+			experiment.ScaleTable(experiment.RunScale([]int{3, 4, 5, 6, 7, 8}, 0.18, 0,
+				protos[4], *seed))+
+			"# A2 (b) 2-hop scoped floods:\n"+
+			experiment.ScaleTable(experiment.RunScale([]int{3, 4, 5, 6, 7, 8}, 0.18, 2,
+				protos[4], *seed)))
+
+	write("ablation.txt", "# A3 Algorithm H alpha/beta at λ=7\n"+
+		experiment.AblationTable(experiment.RunAlphaBeta(
+			[]float64{0.1, 0.25, 0.5, 1.0}, []float64{0.1, 0.25, 0.5, 0.9}, 7, *seed)))
+
+	write("federation.txt", "# A4/F1 inter-group federation, hot quadrant of 8x8 mesh\n"+
+		experiment.FederationTable(experiment.RunFederation(8, []float64{2, 4, 6, 8, 10}, *seed)))
+
+	var secs []experiment.SecurityResult
+	for _, lam := range []float64{2, 3, 4, 5, 6, 7, 8} {
+		secs = append(secs, experiment.RunSecurity(lam, 0.3, *seed))
+	}
+	write("security.txt", "# A5 security-constrained placement under compromise\n"+
+		experiment.SecurityTable(secs))
+
+	write("loss.txt", "# R1 admission at λ=7 vs discovery-message loss\n"+
+		experiment.LossTable(experiment.RunLoss(
+			[]float64{0, 0.05, 0.1, 0.2, 0.4, 0.6}, 7, protos, *seed), protos))
+
+	write("gossip.txt", "# G1 REALTOR vs push-pull anti-entropy gossip\n"+
+		gossipReport(sc, protos, *seed))
+
+	write("retries.txt", "# A7 one-try vs walk-the-list migration, REALTOR\n"+
+		experiment.RetryTable(experiment.RunRetries([]float64{6, 8, 10}, []int{1, 2, 3, 5}, *seed)))
+
+	write("community.txt", "# C1 emergent community structure vs load\n"+
+		experiment.CommunityTable(experiment.RunCommunity(
+			[]float64{2, 4, 5, 6, 7, 8, 9, 10}, *seed)))
+
+	dl, err := agile.RunDeadlineStudy(acfg, []float64{1.8, 2.2, 2.6}, 5, 3, liveDur, *seed, mk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	write("deadlines.txt", "# A6 EDF vs FIFO on the live runtime, mixed-urgency deadlines\n"+
+		agile.DeadlineTable(dl))
+
+	lcfg := acfg
+	lcfg.Hosts = 12
+	att, err := agile.RunLiveAttack(lcfg,
+		agile.AttackStudy{Victims: []int{0, 1, 2, 3}, KillAt: liveDur / 3, ReviveAt: 2 * liveDur / 3},
+		4, 5, liveDur, liveDur/10, *seed, mk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	write("live_attack.txt", "# L1 live survivability: 4 of 12 hosts down for the middle third\n"+
+		agile.AttackTable(att, liveDur/10))
+
+	var idx strings.Builder
+	idx.WriteString("# Experiment outputs\n\n")
+	idx.WriteString("Regenerate everything with: go run ./cmd/realtor-report\n\n")
+	for _, n := range index {
+		fmt.Fprintf(&idx, "- %s\n", n)
+	}
+	write("INDEX.md", idx.String())
+}
+
+// gossipReport renders the G1 comparison reusing the sweep config.
+func gossipReport(sc experiment.SweepConfig, protos []experiment.Protocol, seed int64) string {
+	gp := []experiment.Protocol{protos[1], protos[4],
+		experiment.GossipProtocol(protocol.DefaultConfig(), sc.Engine.Graph.N(), seed)}
+	sc.Lambdas = []float64{2, 5, 7, 9}
+	series := experiment.RunSweep(sc, gp)
+	var b strings.Builder
+	for _, m := range []experiment.Metric{experiment.Admission, experiment.MessageUnits,
+		experiment.CostPerTask, experiment.MigrationRate} {
+		fmt.Fprintf(&b, "\n## %s\n", m)
+		b.WriteString(experiment.Table(series, m))
+	}
+	return b.String()
+}

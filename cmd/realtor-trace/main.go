@@ -1,0 +1,86 @@
+// Command realtor-trace runs a short simulation and dumps its structured
+// event trace — the tool to reach for when a protocol behaves oddly and
+// the aggregate numbers don't say why.
+//
+// Usage:
+//
+//	realtor-trace                                # REALTOR, pretty-printed
+//	realtor-trace -proto Pull-.9 -lambda 8       # another protocol / load
+//	realtor-trace -json > run.jsonl              # JSON Lines for tooling
+//	realtor-trace -kinds migrate-try,migrate-ok  # filter event kinds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"realtor/internal/engine"
+	"realtor/internal/experiment"
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/trace"
+	"realtor/internal/workload"
+)
+
+func main() {
+	proto := flag.String("proto", "REALTOR-100",
+		"protocol: Pull-.9|Push-1|Push-.9|Pull-100|REALTOR-100")
+	lambda := flag.Float64("lambda", 7, "task arrival rate")
+	duration := flag.Float64("duration", 60, "simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	asJSON := flag.Bool("json", false, "emit JSON Lines instead of text")
+	kinds := flag.String("kinds", "", "comma-separated event kinds to keep (empty = all)")
+	flag.Parse()
+
+	var build engine.Builder
+	for _, p := range experiment.StandardProtocols(protocol.DefaultConfig()) {
+		if p.Label == *proto {
+			build = p.Build
+		}
+	}
+	if build == nil {
+		fmt.Fprintf(os.Stderr, "realtor-trace: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	var rec trace.Recorder
+	buf := &trace.Buffer{}
+	if *asJSON {
+		rec = trace.NewJSONL(os.Stdout)
+	} else {
+		rec = buf
+	}
+	if *kinds != "" {
+		allow := map[trace.Kind]bool{}
+		for _, k := range strings.Split(*kinds, ",") {
+			allow[trace.Kind(strings.TrimSpace(k))] = true
+		}
+		rec = trace.Filter{Next: rec, Allow: allow}
+	}
+
+	cfg := engine.Config{
+		Graph:         topology.Mesh(5, 5),
+		QueueCapacity: 100,
+		HopDelay:      0.01,
+		Threshold:     0.9,
+		Warmup:        0,
+		Duration:      sim.Time(*duration),
+		Seed:          *seed,
+		Trace:         rec,
+	}
+	e := engine.New(cfg, build)
+	src := workload.NewPoisson(*lambda, 5, cfg.Graph.N(), rng.New(*seed))
+	st := e.Run(src)
+
+	if !*asJSON {
+		for _, ev := range buf.Events() {
+			fmt.Println(ev)
+		}
+		fmt.Fprintf(os.Stderr, "# %s: %d events, admission %.4f, %d migrations\n",
+			*proto, buf.Total(), st.AdmissionProbability(), st.Migrated)
+	}
+}

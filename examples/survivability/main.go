@@ -1,0 +1,83 @@
+// Survivability: the paper's motivating scenario. A region of the mesh
+// comes under attack mid-run; components (tasks) must migrate away and
+// the system must recover when the region comes back. The example prints
+// an admission timeline for REALTOR versus no-discovery, showing what
+// resource discovery buys during the outage.
+package main
+
+import (
+	"fmt"
+
+	"realtor/internal/attack"
+	"realtor/internal/core"
+	"realtor/internal/engine"
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+// noDiscovery is a null protocol: it never finds candidates, so a full
+// node simply rejects. It is the "what if we had no REALTOR" control.
+type noDiscovery struct{}
+
+func (noDiscovery) Name() string                                      { return "none" }
+func (noDiscovery) Attach(protocol.Env)                               {}
+func (noDiscovery) OnArrival(float64)                                 {}
+func (noDiscovery) OnUsageCrossing(bool)                              {}
+func (noDiscovery) Deliver(protocol.Message)                          {}
+func (noDiscovery) Candidates(float64) []protocol.Candidate           { return nil }
+func (noDiscovery) OnMigrationOutcome(topology.NodeID, float64, bool) {}
+func (noDiscovery) OnNodeDeath()                                      {}
+
+func main() {
+	const (
+		lambda   = 5.0
+		duration = 900
+		binWidth = 100
+	)
+	scenario := attack.Region{
+		Rows: 5, Cols: 5,
+		R0: 0, R1: 2, C0: 0, C1: 2, // 2x2 corner: 4 nodes
+		At: 300, Revive: 600,
+	}
+
+	fmt.Printf("Regional attack on nodes %v from t=300 to t=600, λ=%g\n\n",
+		scenario.Targets(), lambda)
+	fmt.Printf("%-14s%-9s", "discovery", "overall")
+	for t := 0; t < duration; t += binWidth {
+		fmt.Printf(" [%d,%d)", t, t+binWidth)
+	}
+	fmt.Println()
+
+	builders := []engine.Builder{
+		func() protocol.Discovery { return core.New(protocol.DefaultConfig()) },
+		func() protocol.Discovery { return noDiscovery{} },
+	}
+	for _, build := range builders {
+		cfg := engine.Config{
+			Graph:               topology.Mesh(5, 5),
+			QueueCapacity:       100,
+			HopDelay:            0.01,
+			Threshold:           0.9,
+			Warmup:              100,
+			Duration:            duration,
+			Seed:                7,
+			RerouteDeadArrivals: true,
+			BinWidth:            binWidth,
+		}
+		e := engine.New(cfg, build)
+		scenario.Apply(e)
+		src := workload.NewPoisson(lambda, 5, cfg.Graph.N(), rng.New(7))
+		st := e.Run(src)
+
+		fmt.Printf("%-14s%-9.4f", e.ProtocolName(), st.AdmissionProbability())
+		for _, b := range e.Bins() {
+			fmt.Printf(" %7.4f", b.AdmissionProbability())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nDuring the outage the surviving 21 nodes carry 25 nodes' load;")
+	fmt.Println("REALTOR migrates overflow to hosts with pledged headroom, while")
+	fmt.Println("the no-discovery control simply rejects at full queues.")
+}

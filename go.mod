@@ -1,0 +1,3 @@
+module realtor
+
+go 1.22

@@ -1,0 +1,88 @@
+package agile
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"realtor/internal/metrics"
+	"realtor/internal/transportfactory"
+)
+
+// AttackStudy is the live-runtime counterpart of the simulator's A1
+// survivability experiment: hosts are killed mid-run on the real
+// goroutine cluster and the admission timeline shows the dip and the
+// recovery.
+type AttackStudy struct {
+	Victims  []int   // host IDs to take down
+	KillAt   float64 // scaled seconds into the drive
+	ReviveAt float64 // scaled seconds; ≤ KillAt means never
+}
+
+// AttackResult is one live attack run.
+type AttackResult struct {
+	Stats    metrics.RunStats
+	Timeline []TimelineBin
+	Study    AttackStudy
+}
+
+// RunLiveAttack drives a Poisson load while the study's kill/revive
+// schedule executes on wall-clock timers, and returns the overall stats
+// plus a binned admission timeline.
+func RunLiveAttack(cfg Config, study AttackStudy, lambda, meanSize, duration, binWidth float64,
+	seed int64, mkNet transportfactory.Factory) (AttackResult, error) {
+	for _, v := range study.Victims {
+		if v < 0 || v >= cfg.Hosts {
+			return AttackResult{}, fmt.Errorf("agile: victim %d outside [0,%d)", v, cfg.Hosts)
+		}
+	}
+	nw, err := mkNet(cfg.Hosts)
+	if err != nil {
+		return AttackResult{}, err
+	}
+	c, err := NewCluster(cfg, nw)
+	if err != nil {
+		nw.Close()
+		return AttackResult{}, err
+	}
+	defer c.Stop()
+	c.EnableTimeline(binWidth)
+
+	killTimer := time.AfterFunc(c.toWall(study.KillAt), func() {
+		for _, v := range study.Victims {
+			c.Host(v).Kill()
+		}
+	})
+	defer killTimer.Stop()
+	var reviveTimer *time.Timer
+	if study.ReviveAt > study.KillAt {
+		reviveTimer = time.AfterFunc(c.toWall(study.ReviveAt), func() {
+			for _, v := range study.Victims {
+				c.Host(v).Revive()
+			}
+		})
+		defer reviveTimer.Stop()
+	}
+
+	st := c.Drive(lambda, meanSize, duration, seed)
+	return AttackResult{Stats: st, Timeline: c.Timeline(), Study: study}, nil
+}
+
+// AttackTable renders a live attack timeline.
+func AttackTable(r AttackResult, binWidth float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "overall admission: %.4f  (offered %d, migrated %d)\n",
+		r.Stats.AdmissionProbability(), r.Stats.Offered, r.Stats.Migrated)
+	fmt.Fprintf(&b, "victims %v down at t=%g", r.Study.Victims, r.Study.KillAt)
+	if r.Study.ReviveAt > r.Study.KillAt {
+		fmt.Fprintf(&b, ", revived at t=%g", r.Study.ReviveAt)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s%-10s%-10s%-10s\n", "interval", "offered", "admitted", "admission")
+	for _, bin := range r.Timeline {
+		fmt.Fprintf(&b, "[%4.0f,%4.0f)  %-10d%-10d%-10.4f\n",
+			bin.Start, bin.Start+binWidth, bin.Offered, bin.Admitted,
+			bin.AdmissionProbability())
+	}
+	return b.String()
+}

@@ -1,0 +1,297 @@
+package agile
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"realtor/internal/agile/naming"
+	"realtor/internal/agile/sched"
+	"realtor/internal/agile/transport"
+	"realtor/internal/metrics"
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+)
+
+// Config describes a live cluster. The Figure 9 defaults are 20 hosts and
+// a 50-second queue.
+type Config struct {
+	Hosts         int
+	QueueCapacity float64
+	Protocol      protocol.Config
+
+	// TimeScale is scaled-seconds per wall-second. At 200, the paper's
+	// 300-second measurement takes 1.5 wall seconds. Message latency is
+	// whatever the transport actually exhibits, so unlike the simulator
+	// the live runtime has real (if small) nondeterminism — exactly what
+	// Section 6 measures.
+	TimeScale float64
+
+	// NegotiationTimeout bounds how long a host waits for an admission
+	// response before counting the task rejected (wall time).
+	NegotiationTimeout time.Duration
+
+	// Discovery optionally overrides the discovery protocol (default:
+	// REALTOR). Any Discovery implementation runs unmodified on the live
+	// runtime, so the simulator's baselines can be measured here too.
+	Discovery func() protocol.Discovery
+
+	// SchedPolicy selects the hosts' run-queue dispatch order: EDF (the
+	// paper's job scheduler, the default) or FIFO (the ablation
+	// baseline).
+	SchedPolicy sched.Policy
+
+	// MaxTries bounds how many candidates a migration walks through on
+	// denial — Section 3: "migration is aborted and the next node in
+	// REALTOR's list is tried". 0 means 1 (the Figure 9 measurement uses
+	// the simulation's one-try setting).
+	MaxTries int
+
+	// DeadlineSlack sets the mean deadline slack: each driven component's
+	// deadline is arrival + U × mean task size, with U drawn uniformly
+	// from [0.25, 1.75] × DeadlineSlack — mixed urgency classes, without
+	// which EDF degenerates to FIFO (constant slack makes deadline order
+	// equal arrival order). 0 means the Drive default of 10.
+	DeadlineSlack float64
+}
+
+// DefaultConfig returns the Figure 9 setup.
+func DefaultConfig() Config {
+	return Config{
+		Hosts:              20,
+		QueueCapacity:      50,
+		Protocol:           protocol.DefaultConfig(),
+		TimeScale:          200,
+		NegotiationTimeout: 250 * time.Millisecond,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Hosts <= 1:
+		return fmt.Errorf("agile: need at least 2 hosts")
+	case c.QueueCapacity <= 0:
+		return fmt.Errorf("agile: queue capacity must be positive")
+	case c.TimeScale <= 0:
+		return fmt.Errorf("agile: time scale must be positive")
+	case c.NegotiationTimeout <= 0:
+		return fmt.Errorf("agile: negotiation timeout must be positive")
+	}
+	return c.Protocol.Validate()
+}
+
+// Cluster is a running set of hosts on a shared transport.
+type Cluster struct {
+	cfg    Config
+	net    transport.Network
+	naming *naming.Service
+	hosts  []*Host
+	epoch  time.Time
+
+	binMu    sync.Mutex
+	binWidth float64
+	bins     []TimelineBin
+}
+
+// TimelineBin is one interval of the live admission timeline.
+type TimelineBin struct {
+	Start    float64 // scaled seconds
+	Offered  uint64
+	Admitted uint64
+}
+
+// AdmissionProbability returns Admitted/Offered (1 when idle, so quiet
+// intervals plot as "no loss").
+func (b TimelineBin) AdmissionProbability() float64 {
+	if b.Offered == 0 {
+		return 1
+	}
+	return float64(b.Admitted) / float64(b.Offered)
+}
+
+// EnableTimeline starts recording offered/admitted counts per width
+// scaled seconds. Call before driving load.
+func (c *Cluster) EnableTimeline(width float64) {
+	if width <= 0 {
+		panic("agile: timeline width must be positive")
+	}
+	c.binMu.Lock()
+	c.binWidth = width
+	c.binMu.Unlock()
+}
+
+// recordOutcome buckets one task fate by its submission time.
+func (c *Cluster) recordOutcome(at float64, admitted bool) {
+	c.binMu.Lock()
+	defer c.binMu.Unlock()
+	if c.binWidth <= 0 {
+		return
+	}
+	idx := int(at / c.binWidth)
+	for len(c.bins) <= idx {
+		c.bins = append(c.bins, TimelineBin{Start: float64(len(c.bins)) * c.binWidth})
+	}
+	c.bins[idx].Offered++
+	if admitted {
+		c.bins[idx].Admitted++
+	}
+}
+
+// Timeline returns a copy of the recorded bins.
+func (c *Cluster) Timeline() []TimelineBin {
+	c.binMu.Lock()
+	defer c.binMu.Unlock()
+	return append([]TimelineBin(nil), c.bins...)
+}
+
+// NewCluster builds and starts a cluster on the given network. The
+// network must have exactly cfg.Hosts endpoints.
+func NewCluster(cfg Config, net transport.Network) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if net.N() != cfg.Hosts {
+		return nil, fmt.Errorf("agile: network has %d endpoints, config wants %d", net.N(), cfg.Hosts)
+	}
+	c := &Cluster{cfg: cfg, net: net, naming: naming.New(), epoch: time.Now()}
+	for i := 0; i < cfg.Hosts; i++ {
+		c.hosts = append(c.hosts, newHost(i, c))
+	}
+	for _, h := range c.hosts {
+		h.start()
+	}
+	return c, nil
+}
+
+// now returns the scaled cluster time in seconds.
+func (c *Cluster) now() float64 {
+	return time.Since(c.epoch).Seconds() * c.cfg.TimeScale
+}
+
+// toWall converts a scaled duration (seconds) to wall time.
+func (c *Cluster) toWall(scaled float64) time.Duration {
+	return time.Duration(scaled / c.cfg.TimeScale * float64(time.Second))
+}
+
+// Host returns host id.
+func (c *Cluster) Host(id int) *Host { return c.hosts[id] }
+
+// Naming returns the cluster's naming service.
+func (c *Cluster) Naming() *naming.Service { return c.naming }
+
+// Network returns the underlying transport.
+func (c *Cluster) Network() transport.Network { return c.net }
+
+// Stop shuts down all hosts and the transport.
+func (c *Cluster) Stop() {
+	for _, h := range c.hosts {
+		h.stop()
+	}
+	c.net.Close()
+}
+
+// DeadlineStats summarizes completion timeliness across the cluster.
+type DeadlineStats struct {
+	Completed   uint64
+	Missed      uint64
+	LatenessSum float64 // total positive lateness, scaled seconds
+	LatenessMax float64 // worst single lateness, scaled seconds
+}
+
+// MissRate returns Missed/Completed (0 when nothing completed).
+func (d DeadlineStats) MissRate() float64 {
+	if d.Completed == 0 {
+		return 0
+	}
+	return float64(d.Missed) / float64(d.Completed)
+}
+
+// MeanLateness returns average positive lateness per completed component.
+func (d DeadlineStats) MeanLateness() float64 {
+	if d.Completed == 0 {
+		return 0
+	}
+	return d.LatenessSum / float64(d.Completed)
+}
+
+// Deadlines aggregates the hosts' deadline counters.
+func (c *Cluster) Deadlines() DeadlineStats {
+	var d DeadlineStats
+	for _, h := range c.hosts {
+		d.Completed += h.Stats.Completed.Load()
+		d.Missed += h.Stats.DeadlineMiss.Load()
+		d.LatenessSum += h.Stats.LatenessSum.Load()
+		if m := h.Stats.LatenessMax.Load(); m > d.LatenessMax {
+			d.LatenessMax = m
+		}
+	}
+	return d
+}
+
+// RunStats aggregates host counters into the shared metrics record.
+func (c *Cluster) RunStats() metrics.RunStats {
+	var st metrics.RunStats
+	for _, h := range c.hosts {
+		st.Offered += h.Stats.Offered.Load()
+		st.Migrated += h.Stats.MigratedOut.Load()
+		st.MigrateFail += h.Stats.MigrateFail.Load()
+	}
+	// Admission is counted from the submitter's perspective: offered
+	// minus everything the one-try pipeline rejected.
+	var rejected uint64
+	for _, h := range c.hosts {
+		rejected += h.Stats.RejectedRun.Load()
+	}
+	st.Rejected = rejected
+	if st.Offered >= rejected {
+		st.Admitted = st.Offered - rejected
+	}
+	return st
+}
+
+// Drive submits a Poisson workload: system-wide rate lambda (in scaled
+// seconds), exponential sizes with the given mean, uniformly random
+// hosts, for duration scaled seconds of arrivals. It blocks until all
+// arrivals are submitted, then waits for in-flight negotiations to
+// settle and returns the aggregated stats. The cluster remains running.
+func (c *Cluster) Drive(lambda, meanSize, duration float64, seed int64) metrics.RunStats {
+	if lambda <= 0 || meanSize <= 0 || duration <= 0 {
+		panic("agile: workload parameters must be positive")
+	}
+	stream := rng.New(seed)
+	arrivals := stream.Derive("arrivals")
+	sizes := stream.Derive("sizes")
+	hosts := stream.Derive("hosts")
+	slacks := stream.Derive("slacks")
+
+	var id uint64
+	start := c.now()
+	next := start
+	for {
+		next += arrivals.Exp(1 / lambda)
+		if next-start > duration {
+			break
+		}
+		// Sleep in wall time until the arrival instant.
+		if delta := next - c.now(); delta > 0 {
+			time.Sleep(c.toWall(delta))
+		}
+		id++
+		slack := c.cfg.DeadlineSlack
+		if slack <= 0 {
+			slack = 10
+		}
+		slack *= slacks.Uniform(0.25, 1.75)
+		comp := Component{
+			ID:       id,
+			Cost:     sizes.Exp(meanSize),
+			Deadline: next + slack*meanSize,
+			Priority: 0,
+		}
+		c.hosts[hosts.Intn(len(c.hosts))].Submit(comp)
+	}
+	// Let queued commands, negotiations and timeouts settle.
+	time.Sleep(2*c.cfg.NegotiationTimeout + 50*time.Millisecond)
+	return c.RunStats()
+}

@@ -1,0 +1,392 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunQueueOrdering(t *testing.T) {
+	q := NewRunQueue(100)
+	q.Push(Job{ID: 1, Priority: 1, Deadline: 10, Cost: 1})
+	q.Push(Job{ID: 2, Priority: 0, Deadline: 50, Cost: 1})
+	q.Push(Job{ID: 3, Priority: 0, Deadline: 20, Cost: 1})
+	q.Push(Job{ID: 4, Priority: 1, Deadline: 5, Cost: 1})
+	var order []uint64
+	for {
+		j, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, j.ID)
+	}
+	// Priority 0 first (EDF within): 3 then 2; then priority 1: 4 then 1.
+	want := []uint64{3, 2, 4, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunQueueEDFTieBreaksByID(t *testing.T) {
+	q := NewRunQueue(100)
+	q.Push(Job{ID: 9, Priority: 0, Deadline: 10, Cost: 1})
+	q.Push(Job{ID: 2, Priority: 0, Deadline: 10, Cost: 1})
+	j, _ := q.Pop()
+	if j.ID != 2 {
+		t.Fatalf("tie-break popped %d, want 2", j.ID)
+	}
+}
+
+func TestRunQueueCapacity(t *testing.T) {
+	q := NewRunQueue(10)
+	if !q.Push(Job{ID: 1, Cost: 6}) {
+		t.Fatal("push 6 into empty 10 failed")
+	}
+	if !q.Push(Job{ID: 2, Cost: 4}) {
+		t.Fatal("push to exactly full failed")
+	}
+	if q.Push(Job{ID: 3, Cost: 0.1}) {
+		t.Fatal("overflow push succeeded")
+	}
+	if q.Backlog() != 10 || q.Len() != 2 {
+		t.Fatalf("backlog %v len %d", q.Backlog(), q.Len())
+	}
+}
+
+func TestRunQueueInvalidPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for zero capacity")
+			}
+		}()
+		NewRunQueue(0)
+	}()
+	q := NewRunQueue(10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for zero cost")
+			}
+		}()
+		q.Push(Job{ID: 1, Cost: 0})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for negative drain")
+			}
+		}()
+		q.Drain(-1)
+	}()
+}
+
+func TestDrainCompletesInOrder(t *testing.T) {
+	q := NewRunQueue(100)
+	q.Push(Job{ID: 1, Priority: 0, Deadline: 5, Cost: 2})
+	q.Push(Job{ID: 2, Priority: 0, Deadline: 1, Cost: 3})
+	done := q.Drain(4)
+	// Job 2 (earlier deadline) runs first: 3s; then 1s of job 1 remains 1s.
+	if len(done) != 1 || done[0].ID != 2 {
+		t.Fatalf("done %v", done)
+	}
+	if math.Abs(q.Backlog()-1) > 1e-12 {
+		t.Fatalf("backlog %v, want 1", q.Backlog())
+	}
+	head, _ := q.Peek()
+	if head.ID != 1 || math.Abs(head.Cost-1) > 1e-12 {
+		t.Fatalf("head %+v", head)
+	}
+	done = q.Drain(10)
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("second drain %v", done)
+	}
+	if q.Backlog() != 0 || q.Len() != 0 {
+		t.Fatal("queue not empty after full drain")
+	}
+}
+
+func TestDrainZeroIsNoop(t *testing.T) {
+	q := NewRunQueue(10)
+	q.Push(Job{ID: 1, Cost: 5})
+	if got := q.Drain(0); len(got) != 0 {
+		t.Fatal("drain(0) completed jobs")
+	}
+	if q.Backlog() != 5 {
+		t.Fatal("drain(0) changed backlog")
+	}
+}
+
+func TestSnapshotNonDestructive(t *testing.T) {
+	q := NewRunQueue(100)
+	for i := 0; i < 5; i++ {
+		q.Push(Job{ID: uint64(i), Priority: i % 2, Deadline: float64(10 - i), Cost: 1})
+	}
+	snap := q.Snapshot()
+	if len(snap) != 5 || q.Len() != 5 {
+		t.Fatal("snapshot destructive or wrong size")
+	}
+	for i := 1; i < len(snap); i++ {
+		a, b := snap[i-1], snap[i]
+		if a.Priority > b.Priority ||
+			(a.Priority == b.Priority && a.Deadline > b.Deadline) {
+			t.Fatalf("snapshot out of order: %+v before %+v", a, b)
+		}
+	}
+}
+
+// Property: backlog always equals the sum of queued costs, and drains
+// never complete jobs out of scheduling order.
+func TestQuickRunQueueInvariants(t *testing.T) {
+	type op struct {
+		Cost     uint8
+		Priority uint8
+		Deadline uint8
+		Drain    uint8
+	}
+	id := uint64(0)
+	f := func(ops []op) bool {
+		q := NewRunQueue(50)
+		for _, o := range ops {
+			id++
+			cost := float64(o.Cost%40)/4 + 0.25
+			q.Push(Job{ID: id, Priority: int(o.Priority % 3),
+				Deadline: float64(o.Deadline), Cost: cost})
+			q.Drain(float64(o.Drain) / 8)
+			sum := 0.0
+			for _, j := range q.Snapshot() {
+				sum += j.Cost
+			}
+			if math.Abs(sum-q.Backlog()) > 1e-9 {
+				return false
+			}
+			if q.Backlog() > 50+1e-9 || q.Backlog() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: popping everything yields the same order as sorting by
+// (priority, deadline, id).
+func TestQuickPopIsSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		q := NewRunQueue(1e9)
+		jobs := make([]Job, 0, len(raw))
+		for i, r := range raw {
+			j := Job{ID: uint64(i), Priority: int(r % 4),
+				Deadline: float64(r / 4 % 16), Cost: 1}
+			jobs = append(jobs, j)
+			q.Push(j)
+		}
+		sort.Slice(jobs, func(i, k int) bool {
+			a, b := jobs[i], jobs[k]
+			if a.Priority != b.Priority {
+				return a.Priority < b.Priority
+			}
+			if a.Deadline != b.Deadline {
+				return a.Deadline < b.Deadline
+			}
+			return a.ID < b.ID
+		})
+		for _, want := range jobs {
+			got, ok := q.Pop()
+			if !ok || got.ID != want.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCUSAdmissionTest(t *testing.T) {
+	c := NewCUS(1.0)
+	if !c.Admit(1, 2, 10) { // 0.2
+		t.Fatal("admit 0.2 failed")
+	}
+	if !c.Admit(2, 5, 10) { // 0.5
+		t.Fatal("admit 0.5 failed")
+	}
+	if c.Admit(3, 4, 10) { // 0.4 > spare 0.3
+		t.Fatal("over-admission succeeded")
+	}
+	if !c.Admit(4, 3, 10) { // exactly 0.3
+		t.Fatal("exact-fit admission failed")
+	}
+	if math.Abs(c.Spare()) > 1e-9 {
+		t.Fatalf("spare %v, want 0", c.Spare())
+	}
+	if c.Reservations() != 3 {
+		t.Fatalf("reservations %d", c.Reservations())
+	}
+}
+
+func TestCUSRelease(t *testing.T) {
+	c := NewCUS(0.8)
+	c.Admit(1, 4, 10)
+	c.Release(1)
+	if c.Used() != 0 {
+		t.Fatalf("used %v after release", c.Used())
+	}
+	c.Release(99) // unknown: no-op
+	if !c.Admit(2, 8, 10) {
+		t.Fatal("bandwidth not returned after release")
+	}
+}
+
+func TestCUSPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for utilization > 1")
+			}
+		}()
+		NewCUS(1.5)
+	}()
+	c := NewCUS(1)
+	c.Admit(1, 1, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for duplicate id")
+			}
+		}()
+		c.Admit(1, 1, 10)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic for zero period")
+			}
+		}()
+		c.Admit(2, 1, 0)
+	}()
+}
+
+// Property: Used never exceeds Utilization no matter the admit/release
+// sequence, and equals the sum of live reservations.
+func TestQuickCUSInvariant(t *testing.T) {
+	type op struct {
+		Cost    uint8
+		Period  uint8
+		Release bool
+	}
+	f := func(ops []op) bool {
+		c := NewCUS(1.0)
+		live := map[uint64]float64{}
+		id := uint64(0)
+		for _, o := range ops {
+			if o.Release && len(live) > 0 {
+				for k := range live {
+					c.Release(k)
+					delete(live, k)
+					break
+				}
+			} else {
+				id++
+				cost := float64(o.Cost%20)/20 + 0.05
+				period := float64(o.Period%5) + 1
+				if c.Admit(id, cost, period) {
+					live[id] = cost / period
+				}
+			}
+			sum := 0.0
+			for _, u := range live {
+				sum += u
+			}
+			if math.Abs(sum-c.Used()) > 1e-9 {
+				return false
+			}
+			if c.Used() > c.Utilization()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRunQueuePushPop(b *testing.B) {
+	q := NewRunQueue(1e12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(Job{ID: uint64(i), Priority: i % 3, Deadline: float64(i % 97), Cost: 1})
+		if i%2 == 1 {
+			q.Pop()
+			q.Pop()
+		}
+	}
+}
+
+func TestFIFOPolicyOrdering(t *testing.T) {
+	q := NewRunQueueWithPolicy(100, FIFO)
+	if q.Policy() != FIFO || q.Policy().String() != "FIFO" {
+		t.Fatal("policy accessor")
+	}
+	// Insertion order wins regardless of deadlines and priorities.
+	q.Push(Job{ID: 1, Priority: 5, Deadline: 100, Cost: 1})
+	q.Push(Job{ID: 2, Priority: 0, Deadline: 1, Cost: 1})
+	q.Push(Job{ID: 3, Priority: 0, Deadline: 0.5, Cost: 1})
+	var order []uint64
+	for {
+		j, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, j.ID)
+	}
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFODrainOrder(t *testing.T) {
+	q := NewRunQueueWithPolicy(100, FIFO)
+	q.Push(Job{ID: 1, Deadline: 100, Cost: 2})
+	q.Push(Job{ID: 2, Deadline: 1, Cost: 2})
+	done := q.Drain(3)
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("FIFO drain completed %v, want job 1 first", done)
+	}
+	if head, _ := q.Peek(); head.ID != 2 || head.Cost != 1 {
+		t.Fatalf("head %+v", head)
+	}
+}
+
+func TestEDFDefaultPolicy(t *testing.T) {
+	if NewRunQueue(10).Policy() != EDF {
+		t.Fatal("default policy not EDF")
+	}
+	if EDF.String() != "EDF" {
+		t.Fatal("EDF string")
+	}
+}
+
+func TestSnapshotFIFO(t *testing.T) {
+	q := NewRunQueueWithPolicy(100, FIFO)
+	for i := 5; i > 0; i-- {
+		q.Push(Job{ID: uint64(i), Deadline: float64(i), Cost: 1})
+	}
+	snap := q.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID > snap[i-1].ID {
+			// IDs were pushed descending, so FIFO order is descending IDs.
+			t.Fatalf("FIFO snapshot out of insertion order: %v", snap)
+		}
+	}
+}

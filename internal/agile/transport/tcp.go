@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPNetwork runs each endpoint on a loopback TCP listener with
+// length-free gob stream framing (gob is self-delimiting on a stream).
+// The paper's Agile Objects used TCP for admission-control negotiation;
+// this transport makes the whole fabric reliable and ordered, the
+// strongest of the three options. Connections are dialled lazily and
+// kept alive per (sender, receiver) pair; broadcast iterates unicast as
+// with the UDP fabric.
+type TCPNetwork struct {
+	endpoints []*tcpEndpoint
+	addrs     []*net.TCPAddr
+	sent      atomic.Uint64
+	dropped   atomic.Uint64
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// NewTCP binds n loopback listeners and starts their accept loops.
+func NewTCP(n int) (*TCPNetwork, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: need at least one endpoint")
+	}
+	nw := &TCPNetwork{}
+	for i := 0; i < n; i++ {
+		ln, err := net.ListenTCP("tcp4", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			nw.Close()
+			return nil, fmt.Errorf("transport: bind endpoint %d: %w", i, err)
+		}
+		nw.endpoints = append(nw.endpoints, &tcpEndpoint{
+			net: nw, id: i, ln: ln,
+			inbox: make(chan Packet, inboxDepth),
+			conns: make(map[int]*tcpConn),
+		})
+		nw.addrs = append(nw.addrs, ln.Addr().(*net.TCPAddr))
+	}
+	for _, e := range nw.endpoints {
+		nw.wg.Add(1)
+		go e.acceptLoop(&nw.wg)
+	}
+	return nw, nil
+}
+
+// N implements Network.
+func (n *TCPNetwork) N() int { return len(n.endpoints) }
+
+// Endpoint implements Network.
+func (n *TCPNetwork) Endpoint(id int) Endpoint { return n.endpoints[id] }
+
+// Sent implements Network.
+func (n *TCPNetwork) Sent() uint64 { return n.sent.Load() }
+
+// Dropped implements Network.
+func (n *TCPNetwork) Dropped() uint64 { return n.dropped.Load() }
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	for _, e := range n.endpoints {
+		if e == nil {
+			continue
+		}
+		if e.ln != nil {
+			e.ln.Close()
+		}
+		e.mu.Lock()
+		for _, c := range e.conns {
+			c.conn.Close()
+		}
+		e.mu.Unlock()
+	}
+	n.wg.Wait()
+	for _, e := range n.endpoints {
+		close(e.inbox)
+	}
+	return nil
+}
+
+type tcpConn struct {
+	conn *net.TCPConn
+	enc  *gob.Encoder
+	bw   *bufio.Writer
+	mu   sync.Mutex
+}
+
+type tcpEndpoint struct {
+	net   *TCPNetwork
+	id    int
+	ln    *net.TCPListener
+	inbox chan Packet
+
+	mu    sync.Mutex
+	conns map[int]*tcpConn // outgoing, keyed by destination
+}
+
+func (e *tcpEndpoint) ID() int { return e.id }
+
+func (e *tcpEndpoint) acceptLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		conn, err := e.ln.AcceptTCP()
+		if err != nil {
+			return // closed
+		}
+		e.net.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn *net.TCPConn) {
+	defer e.net.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	for {
+		var p Packet
+		if err := dec.Decode(&p); err != nil {
+			return
+		}
+		select {
+		case e.inbox <- p:
+		default:
+			e.net.dropped.Add(1)
+		}
+	}
+}
+
+// dial returns (creating if needed) the persistent connection to peer.
+func (e *tcpEndpoint) dial(to int) (*tcpConn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	raw, err := net.DialTCP("tcp4", nil, e.net.addrs[to])
+	if err != nil {
+		return nil, err
+	}
+	raw.SetNoDelay(true)
+	bw := bufio.NewWriter(raw)
+	c := &tcpConn{conn: raw, enc: gob.NewEncoder(bw), bw: bw}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) Send(to int, p Packet) error {
+	if to < 0 || to >= e.net.N() {
+		return fmt.Errorf("transport: no endpoint %d", to)
+	}
+	p.From, p.To = e.id, to
+	return e.write(to, p)
+}
+
+func (e *tcpEndpoint) Broadcast(p Packet) error {
+	p.From, p.To = e.id, Broadcast
+	var first error
+	for i := range e.net.endpoints {
+		if i == e.id {
+			continue
+		}
+		if err := e.write(i, p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (e *tcpEndpoint) write(to int, p Packet) error {
+	c, err := e.dial(to)
+	if err != nil {
+		e.net.dropped.Add(1)
+		return fmt.Errorf("transport: dial %d: %w", to, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.net.sent.Add(1)
+	if err := c.enc.Encode(p); err == nil {
+		err = c.bw.Flush()
+		if err == nil {
+			return nil
+		}
+	}
+	// Connection is broken: drop it so the next send redials.
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.conn.Close()
+	e.net.dropped.Add(1)
+	return fmt.Errorf("transport: send to %d failed", to)
+}
+
+func (e *tcpEndpoint) Inbox() <-chan Packet { return e.inbox }

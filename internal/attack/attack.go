@@ -1,0 +1,244 @@
+// Package attack injects the adverse conditions the paper motivates
+// REALTOR with: external attacks that take nodes down, regional attacks
+// that wipe out a contiguous part of the mesh, flapping nodes that leave
+// and rejoin repeatedly, and resource-exhaustion attacks that saturate a
+// victim's queue without killing it. All injectors schedule their actions
+// on an engine's clock before the run starts, so a scenario is a plain
+// value that can be replayed deterministically.
+package attack
+
+import (
+	"fmt"
+
+	"realtor/internal/engine"
+	"realtor/internal/resource"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// Scenario schedules attack events onto an engine. Implementations must
+// only use the engine's scheduler; they are applied before Run.
+type Scenario interface {
+	// Name identifies the scenario in reports.
+	Name() string
+	// Apply schedules the scenario's events on e.
+	Apply(e *engine.Engine)
+}
+
+// Kill takes a fixed set of nodes down at At and, if Revive > At, brings
+// them back at Revive.
+type Kill struct {
+	Targets []topology.NodeID
+	At      sim.Time
+	Revive  sim.Time // 0 (or ≤ At) means the nodes stay down
+}
+
+// Name implements Scenario.
+func (k Kill) Name() string {
+	return fmt.Sprintf("kill-%d@%g", len(k.Targets), float64(k.At))
+}
+
+// Apply implements Scenario.
+func (k Kill) Apply(e *engine.Engine) {
+	targets := append([]topology.NodeID(nil), k.Targets...)
+	e.Scheduler().At(k.At, func(sim.Time) {
+		for _, id := range targets {
+			e.Kill(id)
+		}
+	})
+	if k.Revive > k.At {
+		e.Scheduler().At(k.Revive, func(sim.Time) {
+			for _, id := range targets {
+				e.Revive(id)
+			}
+		})
+	}
+}
+
+// RandomKill kills Count distinct random nodes at At (and optionally
+// revives them), drawing targets deterministically from Seed.
+type RandomKill struct {
+	Count  int
+	N      int // node-ID space to draw from
+	At     sim.Time
+	Revive sim.Time
+	Seed   int64
+}
+
+// Name implements Scenario.
+func (r RandomKill) Name() string {
+	return fmt.Sprintf("random-kill-%d@%g", r.Count, float64(r.At))
+}
+
+// Apply implements Scenario.
+func (r RandomKill) Apply(e *engine.Engine) {
+	if r.Count > r.N {
+		panic("attack: more kills than nodes")
+	}
+	perm := rng.New(r.Seed).Derive("random-kill").Perm(r.N)
+	targets := make([]topology.NodeID, r.Count)
+	for i := range targets {
+		targets[i] = topology.NodeID(perm[i])
+	}
+	Kill{Targets: targets, At: r.At, Revive: r.Revive}.Apply(e)
+}
+
+// Region kills a rectangle of a rows×cols mesh: rows [R0, R1) × columns
+// [C0, C1). It models a localized physical or network attack.
+type Region struct {
+	Rows, Cols     int // mesh dimensions
+	R0, R1, C0, C1 int
+	At             sim.Time
+	Revive         sim.Time
+}
+
+// Name implements Scenario.
+func (r Region) Name() string {
+	return fmt.Sprintf("region-[%d:%d)x[%d:%d)@%g", r.R0, r.R1, r.C0, r.C1, float64(r.At))
+}
+
+// Targets lists the node IDs inside the region.
+func (r Region) Targets() []topology.NodeID {
+	if r.R0 < 0 || r.R1 > r.Rows || r.C0 < 0 || r.C1 > r.Cols || r.R0 >= r.R1 || r.C0 >= r.C1 {
+		panic("attack: region out of mesh bounds")
+	}
+	var out []topology.NodeID
+	for row := r.R0; row < r.R1; row++ {
+		for col := r.C0; col < r.C1; col++ {
+			out = append(out, topology.NodeID(row*r.Cols+col))
+		}
+	}
+	return out
+}
+
+// Apply implements Scenario.
+func (r Region) Apply(e *engine.Engine) {
+	Kill{Targets: r.Targets(), At: r.At, Revive: r.Revive}.Apply(e)
+}
+
+// Flap repeatedly kills and revives one node: down for DownFor, up for
+// UpFor, starting at Start and stopping after Until. It stresses the
+// soft-state refresh path — a protocol holding hard state would keep
+// routing tasks to the flapping node.
+type Flap struct {
+	Target  topology.NodeID
+	Start   sim.Time
+	DownFor sim.Time
+	UpFor   sim.Time
+	Until   sim.Time
+}
+
+// Name implements Scenario.
+func (f Flap) Name() string {
+	return fmt.Sprintf("flap-%d", f.Target)
+}
+
+// Apply implements Scenario.
+func (f Flap) Apply(e *engine.Engine) {
+	if f.DownFor <= 0 || f.UpFor <= 0 {
+		panic("attack: flap durations must be positive")
+	}
+	for t := f.Start; t < f.Until; t += f.DownFor + f.UpFor {
+		down := t
+		up := t + f.DownFor
+		e.Scheduler().At(down, func(sim.Time) { e.Kill(f.Target) })
+		if up < f.Until {
+			e.Scheduler().At(up, func(sim.Time) { e.Revive(f.Target) })
+		}
+	}
+}
+
+// Exhaust saturates a victim's queue with bogus work every Interval
+// seconds between At and Until — a resource-exhaustion attack that leaves
+// the node alive (and still answering discovery messages) but useless.
+type Exhaust struct {
+	Target   topology.NodeID
+	At       sim.Time
+	Until    sim.Time
+	Interval sim.Time
+	Chunk    float64 // seconds of bogus work per injection
+}
+
+// Name implements Scenario.
+func (x Exhaust) Name() string {
+	return fmt.Sprintf("exhaust-%d", x.Target)
+}
+
+// Apply implements Scenario.
+func (x Exhaust) Apply(e *engine.Engine) {
+	if x.Interval <= 0 || x.Chunk <= 0 {
+		panic("attack: exhaust interval and chunk must be positive")
+	}
+	for t := x.At; t < x.Until; t += x.Interval {
+		at := t
+		e.Scheduler().At(at, func(now sim.Time) {
+			n := e.Node(x.Target)
+			if !n.Alive() {
+				return
+			}
+			// Fill whatever headroom exists; ignore failure when full.
+			if h := n.Headroom(now); h > 0 {
+				chunk := x.Chunk
+				if chunk > h {
+					chunk = h
+				}
+				n.Accept(now, chunk)
+			}
+		})
+	}
+}
+
+// Composite applies several scenarios as one.
+type Composite struct {
+	Label string
+	Parts []Scenario
+}
+
+// Name implements Scenario.
+func (c Composite) Name() string { return c.Label }
+
+// Apply implements Scenario.
+func (c Composite) Apply(e *engine.Engine) {
+	for _, p := range c.Parts {
+		p.Apply(e)
+	}
+}
+
+// Downgrade lowers the security level of a set of nodes at At —
+// modelling a partial compromise that leaves hosts running but no longer
+// trusted — and restores their original attributes at Restore (if set).
+// Components that require a higher level must migrate away; this is the
+// information-assurance scenario of the paper's introduction.
+type Downgrade struct {
+	Targets  []topology.NodeID
+	At       sim.Time
+	Restore  sim.Time // ≤ At means never
+	Security int      // new (lower) security level
+}
+
+// Name implements Scenario.
+func (d Downgrade) Name() string {
+	return fmt.Sprintf("downgrade-%d@%g", len(d.Targets), float64(d.At))
+}
+
+// Apply implements Scenario.
+func (d Downgrade) Apply(e *engine.Engine) {
+	targets := append([]topology.NodeID(nil), d.Targets...)
+	before := make([]resource.Attrs, len(targets))
+	e.Scheduler().At(d.At, func(sim.Time) {
+		for i, id := range targets {
+			before[i] = e.Attrs(id)
+			a := before[i]
+			a.Security = d.Security
+			e.SetAttrs(id, a)
+		}
+	})
+	if d.Restore > d.At {
+		e.Scheduler().At(d.Restore, func(sim.Time) {
+			for i, id := range targets {
+				e.SetAttrs(id, before[i])
+			}
+		})
+	}
+}

@@ -1,0 +1,363 @@
+// Package core implements REALTOR, the paper's contribution: a resource
+// discovery protocol combining an adaptive PULL (Algorithm H: solicited
+// HELP floods whose interval adapts multiplicatively to success and
+// failure) with an adaptive PUSH (Algorithm P: community members pledge
+// spontaneously whenever their resource usage crosses a threshold).
+//
+// The HELP-interval governor is exported separately so that the
+// Adaptive-PULL baseline — which the paper defines as "the same fashion
+// as in REALTOR" minus the push component — can reuse it verbatim.
+package core
+
+import (
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// HelpGovernor implements Algorithm H (Figure 2 of the paper): it decides
+// when a HELP flood may be sent and adapts HELP_interval.
+//
+//	on timeout:           HELP_interval += HELP_interval * alpha  (≤ Upper_limit)
+//	on resource found:    HELP_interval -= HELP_interval * beta   (> 0)
+//
+// The response timer is armed when a HELP is sent and reset by every
+// incoming PLEDGE; it expires — and applies the penalty — only when
+// pledges stop arriving for PledgeWait seconds. The reward fires when "a
+// node is found for migration" (Figure 2), which we pin to a successful
+// migration: this is what keeps the interval at Upper_limit under
+// sustained overload ("due to the repeated failure of finding available
+// resources", the paper's explanation of Figure 7), instead of letting
+// every stray pledge collapse it.
+type HelpGovernor struct {
+	cfg protocol.Config
+	env protocol.Env
+
+	interval sim.Time
+	lastSent sim.Time
+	sentAny  bool
+
+	timer protocol.Timer
+
+	helps     uint64
+	penalties uint64
+	rewards   uint64
+}
+
+// NewHelpGovernor returns a governor with HELP_interval = cfg.HelpInit.
+func NewHelpGovernor(cfg protocol.Config) *HelpGovernor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &HelpGovernor{cfg: cfg, interval: cfg.HelpInit}
+}
+
+// Attach binds the governor to its node environment.
+func (g *HelpGovernor) Attach(env protocol.Env) { g.env = env }
+
+// Interval returns the current HELP_interval.
+func (g *HelpGovernor) Interval() sim.Time { return g.interval }
+
+// Helps returns the number of HELP floods sent.
+func (g *HelpGovernor) Helps() uint64 { return g.helps }
+
+// Rewards returns how many times the interval was shrunk.
+func (g *HelpGovernor) Rewards() uint64 { return g.rewards }
+
+// Penalties returns how many times the interval was grown.
+func (g *HelpGovernor) Penalties() uint64 { return g.penalties }
+
+// WouldExceed evaluates Algorithm H's trigger: would admitting a task of
+// the given size push queue occupancy above the threshold?
+func (g *HelpGovernor) WouldExceed(size float64) bool {
+	backlog := g.env.Capacity() - g.env.Headroom()
+	return backlog+size > g.cfg.Threshold*g.env.Capacity()
+}
+
+// MaybeHelp floods a HELP if the trigger condition holds and at least
+// HELP_interval has elapsed since the last HELP. It reports whether a
+// HELP was sent. build constructs the message lazily, only when sending.
+func (g *HelpGovernor) MaybeHelp(size float64, build func() protocol.Message) bool {
+	if !g.WouldExceed(size) {
+		return false
+	}
+	now := g.env.Now()
+	if g.sentAny && now-g.lastSent <= g.interval {
+		return false
+	}
+	g.env.Flood(build())
+	g.lastSent = now
+	g.sentAny = true
+	g.helps++
+	g.armTimer()
+	return true
+}
+
+func (g *HelpGovernor) armTimer() {
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	g.timer = g.env.After(g.cfg.PledgeWait, g.onTimeout)
+}
+
+func (g *HelpGovernor) onTimeout() {
+	g.timer = nil
+	if g.cfg.Alpha == 0 {
+		return // fixed-window mode (Pull-100): no adaptation
+	}
+	// Penalty: expand the interval to back off while the system is
+	// saturated, capped at Upper_limit.
+	grown := g.interval + g.interval*sim.Time(g.cfg.Alpha)
+	if grown <= g.cfg.HelpUpper {
+		g.interval = grown
+		g.penalties++
+	} else if g.interval < g.cfg.HelpUpper {
+		g.interval = g.cfg.HelpUpper
+		g.penalties++
+	}
+}
+
+// OnPledge is called for every incoming PLEDGE; pledges still flowing
+// keep the response timer (and hence the penalty) at bay.
+func (g *HelpGovernor) OnPledge() {
+	if g.timer != nil {
+		g.armTimer() // reset: pledges are still flowing
+	}
+}
+
+// OnResourceFound applies the reward: a node was actually found for a
+// migration, so discovery may speed up again.
+func (g *HelpGovernor) OnResourceFound() {
+	if g.cfg.Beta == 0 {
+		return // fixed-window mode
+	}
+	shrunk := g.interval - g.interval*sim.Time(g.cfg.Beta)
+	if shrunk >= g.cfg.HelpMin {
+		g.interval = shrunk
+		g.rewards++
+	}
+}
+
+// Stop cancels the response timer (node death / end of run).
+func (g *HelpGovernor) Stop() {
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+}
+
+// Realtor is the full protocol: Algorithm H as community organizer plus
+// Algorithm P as community member.
+type Realtor struct {
+	cfg protocol.Config
+	env protocol.Env
+	gov *HelpGovernor
+
+	// Organizer side: availability list built from pledges.
+	list *protocol.PledgeList
+
+	// Member side: communities this node belongs to, keyed by organizer,
+	// valued by membership expiry time. Soft state — never persisted,
+	// refreshed by replying to HELPs.
+	memberOf map[topology.NodeID]sim.Time
+
+	dead bool
+}
+
+var _ protocol.Discovery = (*Realtor)(nil)
+
+// New returns a REALTOR instance with the given configuration.
+func New(cfg protocol.Config) *Realtor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Realtor{
+		cfg:      cfg,
+		gov:      NewHelpGovernor(cfg),
+		list:     protocol.NewPledgeList(cfg.EntryTTL),
+		memberOf: make(map[topology.NodeID]sim.Time),
+	}
+}
+
+// Name identifies the protocol as in the paper's figure legends.
+func (r *Realtor) Name() string { return "REALTOR-100" }
+
+// Attach binds the instance to its node.
+func (r *Realtor) Attach(env protocol.Env) {
+	r.env = env
+	r.gov.Attach(env)
+}
+
+// OnArrival runs Algorithm H's arrival-side trigger.
+func (r *Realtor) OnArrival(size float64) {
+	if r.dead {
+		return
+	}
+	r.gov.MaybeHelp(size, func() protocol.Message {
+		return protocol.Message{
+			Kind:    protocol.Help,
+			From:    r.env.Self(),
+			Members: r.list.Len(r.env.Now()),
+			Demand:  size,
+		}
+	})
+}
+
+// OnUsageCrossing runs Algorithm P's member-side spontaneous pledges:
+// "once a host determines to be a member of a community, it replies with
+// PLEDGE messages whenever its resource usage status changes across the
+// threshold level". A rising crossing retracts availability (headroom 0);
+// a falling one re-advertises current headroom.
+func (r *Realtor) OnUsageCrossing(rising bool) {
+	if r.dead || len(r.memberOf) == 0 {
+		return
+	}
+	now := r.env.Now()
+	headroom := r.env.Headroom()
+	if rising {
+		headroom = 0
+	}
+	for org, expiry := range r.memberOf {
+		if expiry < now {
+			delete(r.memberOf, org)
+			continue
+		}
+		r.env.Unicast(org, protocol.Message{
+			Kind:        protocol.Pledge,
+			From:        r.env.Self(),
+			Headroom:    headroom,
+			Communities: len(r.memberOf),
+			Grant:       r.grantProbability(),
+		})
+	}
+}
+
+// mayJoin reports whether this node may (re-)join org's community at
+// time now: it always may refresh an existing live membership, and it may
+// take a new one only below the membership cap. Expired memberships are
+// purged first so they do not hold slots.
+func (r *Realtor) mayJoin(org topology.NodeID, now sim.Time) bool {
+	for o, expiry := range r.memberOf {
+		if expiry < now {
+			delete(r.memberOf, o)
+		}
+	}
+	if _, ok := r.memberOf[org]; ok {
+		return true
+	}
+	return r.cfg.MaxMemberships == 0 || len(r.memberOf) < r.cfg.MaxMemberships
+}
+
+// grantProbability estimates the chance this node admits a request: with
+// guaranteed-rate scheduling, admission is a utilization test, so spare
+// occupancy is the natural estimate carried in the PLEDGE's
+// "probabilities of resource grant" field.
+func (r *Realtor) grantProbability() float64 {
+	return 1 - r.env.Usage()
+}
+
+// Deliver handles incoming HELP (Algorithm P's reply rule), PLEDGE
+// (organizer list update plus Algorithm H reward path) and — tolerantly —
+// ADVERT from mixed-protocol deployments.
+func (r *Realtor) Deliver(m protocol.Message) {
+	if r.dead {
+		return
+	}
+	now := r.env.Now()
+	switch m.Kind {
+	case protocol.Help:
+		// Algorithm P: reply iff local usage is below the threshold. The
+		// reply additionally (re-)joins the sender's community when a
+		// membership slot is free — joining is what subscribes the
+		// organizer to this node's future crossing pledges, and the cap
+		// is what keeps the per-node interaction set a small subset of
+		// the system rather than all of it.
+		if r.env.Usage() < r.cfg.Threshold {
+			if r.mayJoin(m.From, now) {
+				r.memberOf[m.From] = now + r.cfg.MembershipTTL
+			}
+			r.env.Unicast(m.From, protocol.Message{
+				Kind:        protocol.Pledge,
+				From:        r.env.Self(),
+				Headroom:    r.env.Headroom(),
+				Communities: len(r.memberOf),
+				Grant:       r.grantProbability(),
+			})
+		}
+	case protocol.Pledge:
+		r.list.Update(now, m.From, m.Headroom)
+		r.gov.OnPledge()
+	case protocol.Advert:
+		r.list.Update(now, m.From, m.Headroom)
+	}
+}
+
+// Candidates returns the organizer's availability list, best first,
+// restricted to entries that fit the task.
+func (r *Realtor) Candidates(size float64) []protocol.Candidate {
+	if r.dead {
+		return nil
+	}
+	snap := r.list.Snapshot(r.env.Now())
+	out := snap[:0]
+	for _, c := range snap {
+		if c.Headroom >= size {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OnMigrationOutcome keeps the availability list honest — a successful
+// migration debits the destination's recorded headroom; a failed try
+// drops the stale entry so the next request tries someone else — and
+// feeds Algorithm H's reward: a success is "a node found for migration".
+func (r *Realtor) OnMigrationOutcome(target topology.NodeID, size float64, success bool) {
+	if success {
+		r.list.Debit(target, size)
+		r.gov.OnResourceFound()
+	} else {
+		r.list.Remove(target)
+	}
+}
+
+// OnNodeDeath drops all soft state. By design nothing needs flushing —
+// the protocol is stateless across restarts, which is what makes it
+// idempotent under attack.
+func (r *Realtor) OnNodeDeath() {
+	r.dead = true
+	r.gov.Stop()
+	r.memberOf = make(map[topology.NodeID]sim.Time)
+	r.list = protocol.NewPledgeList(r.cfg.EntryTTL)
+}
+
+// Memberships returns how many communities this node currently belongs
+// to (expired entries excluded), for tests and introspection.
+func (r *Realtor) Memberships() int {
+	now := sim.Time(0)
+	if r.env != nil {
+		now = r.env.Now()
+	}
+	n := 0
+	for org, expiry := range r.memberOf {
+		if expiry >= now {
+			n++
+		} else {
+			delete(r.memberOf, org)
+		}
+	}
+	return n
+}
+
+// Governor exposes the Algorithm H state for tests and ablations.
+func (r *Realtor) Governor() *HelpGovernor { return r.gov }
+
+// CommunitySize returns how many live members this node's own community
+// currently has (its availability list), for introspection and the
+// community-statistics experiment.
+func (r *Realtor) CommunitySize() int {
+	if r.env == nil {
+		return 0
+	}
+	return r.list.Len(r.env.Now())
+}

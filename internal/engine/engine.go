@@ -1,0 +1,739 @@
+// Package engine wires the simulation together: it owns the event
+// scheduler, the nodes, one Discovery instance per node, message delivery
+// with per-hop latency, threshold-crossing detection, and the
+// arrival → local-admission → one-try-migration pipeline of the paper's
+// Section 5 experiments. It also exposes Kill/Revive so the attack
+// injectors can exercise the survivability path.
+package engine
+
+import (
+	"fmt"
+
+	"realtor/internal/metrics"
+	"realtor/internal/node"
+	"realtor/internal/protocol"
+	"realtor/internal/resource"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/trace"
+	"realtor/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Graph         *topology.Graph
+	QueueCapacity float64 // per-node queue, seconds (paper: 100)
+	// Capacities optionally overrides QueueCapacity per node for
+	// heterogeneous clusters (len must equal Graph.N(); zero entries
+	// fall back to QueueCapacity).
+	Capacities []float64
+	HopDelay   sim.Time // per-hop message latency, seconds (pinned: 0.01)
+	Threshold  float64  // crossing-detection threshold (paper: 0.9)
+	Warmup     sim.Time // stats excluded before this time
+	Duration   sim.Time // arrivals stop here; in-flight work settles after
+
+	// RerouteDeadArrivals sends tasks that arrive at a dead node to a
+	// random alive node instead of dropping them (attack experiments).
+	RerouteDeadArrivals bool
+
+	// BinWidth, when positive, additionally records offered/admitted
+	// counts per BinWidth-second interval over the whole run (warmup
+	// included), for timeline plots of attack scenarios.
+	BinWidth sim.Time
+
+	// FloodRadius, when positive, limits every flood to nodes within
+	// that many hops of the sender — the "mechanism in place limiting
+	// the scope of neighbors, for example, as an IP multicast group"
+	// that Section 5 assumes. A scoped flood is charged only the links
+	// of the flooded subgraph. 0 means system-wide floods (the paper's
+	// 25-node simulation setting).
+	FloodRadius int
+
+	// Groups, when non-nil, partitions nodes into neighbor groups (one
+	// group ID per node): floods then reach only the sender's group and
+	// are charged the group's internal links. This is the substrate for
+	// the inter-neighbor-group discovery of the paper's future work
+	// (Section 7), implemented in internal/federation. Mutually
+	// exclusive with FloodRadius.
+	Groups []int
+
+	// MaxTries bounds how many candidates a migrating task may try in
+	// sequence. The paper's simulation pins 1 ("only a one-time migration
+	// try to the best candidate", Section 5) — the default — while the
+	// Agile Objects runtime description walks the list ("migration is
+	// aborted and the next node in REALTOR's list is tried", Section 3).
+	// 0 means 1.
+	MaxTries int
+
+	// LossProb drops each protocol message delivery independently with
+	// this probability (deterministically, from Seed). The paper argues
+	// REALTOR's soft state makes it robust to exactly this; 0 disables.
+	// Task transfers and admission negotiation are not dropped (they are
+	// reliable/TCP in the paper's architecture).
+	LossProb float64
+
+	// Attrs optionally assigns per-node placement attributes (bandwidth,
+	// memory, security); tasks whose Require is not satisfied by a node
+	// can neither run nor be migrated there. nil means unconstrained.
+	Attrs []resource.Attrs
+
+	// Trace, when set, receives structured events (arrivals, admissions,
+	// migrations, protocol messages, crossings, churn). Off by default —
+	// tracing a long run produces a lot of events.
+	Trace trace.Recorder
+
+	// OnOutcome, when set, is called once per task with its final fate
+	// (admitted or rejected), letting experiments bucket admission by
+	// task class without touching the aggregate stats.
+	OnOutcome func(t workload.Task, admitted bool)
+
+	// Seed drives engine-internal choices (dead-arrival rerouting).
+	Seed int64
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Graph == nil:
+		return fmt.Errorf("engine: nil graph")
+	case c.QueueCapacity <= 0:
+		return fmt.Errorf("engine: queue capacity %v must be positive", c.QueueCapacity)
+	case c.HopDelay < 0:
+		return fmt.Errorf("engine: negative hop delay")
+	case c.Threshold <= 0 || c.Threshold > 1:
+		return fmt.Errorf("engine: threshold %v outside (0,1]", c.Threshold)
+	case c.Warmup < 0 || c.Duration <= c.Warmup:
+		return fmt.Errorf("engine: need 0 <= warmup(%v) < duration(%v)", c.Warmup, c.Duration)
+	case c.Groups != nil && len(c.Groups) != c.Graph.N():
+		return fmt.Errorf("engine: %d group assignments for %d nodes", len(c.Groups), c.Graph.N())
+	case c.Groups != nil && c.FloodRadius > 0:
+		return fmt.Errorf("engine: Groups and FloodRadius are mutually exclusive")
+	case c.Attrs != nil && len(c.Attrs) != c.Graph.N():
+		return fmt.Errorf("engine: %d attribute sets for %d nodes", len(c.Attrs), c.Graph.N())
+	case c.LossProb < 0 || c.LossProb >= 1:
+		return fmt.Errorf("engine: loss probability %v outside [0,1)", c.LossProb)
+	case c.MaxTries < 0:
+		return fmt.Errorf("engine: negative MaxTries")
+	case c.Capacities != nil && len(c.Capacities) != c.Graph.N():
+		return fmt.Errorf("engine: %d capacities for %d nodes", len(c.Capacities), c.Graph.N())
+	}
+	for i, cap := range c.Capacities {
+		if cap < 0 {
+			return fmt.Errorf("engine: negative capacity for node %d", i)
+		}
+	}
+	return nil
+}
+
+// Builder constructs a fresh Discovery instance (one per node, and again
+// on revival).
+type Builder func() protocol.Discovery
+
+// Engine is one configured simulation.
+type Engine struct {
+	cfg   Config
+	sched *sim.Scheduler
+	cost  protocol.CostModel
+	nodes []*node.Node
+	disco []protocol.Discovery
+	envs  []*nodeEnv
+	build Builder
+	rnd   *rng.Stream
+
+	stats metrics.RunStats
+
+	// crossing detection state per node
+	above    []bool
+	crossEvs []*sim.Event
+
+	// generation per node: bumped on kill so stale timers no-op
+	gen []int
+
+	// extra observability
+	protoName string
+	bins      []Bin
+
+	// scoped-flood support: per-node member sets and flood costs,
+	// computed once when cfg.FloodRadius > 0
+	scope     [][]topology.NodeID
+	scopeCost []float64
+}
+
+// Bin is one interval of the optional admission timeline.
+type Bin struct {
+	Start    sim.Time
+	Offered  uint64
+	Admitted uint64
+}
+
+// AdmissionProbability returns Admitted/Offered for the bin (1 if empty,
+// so idle intervals plot as "no loss").
+func (b Bin) AdmissionProbability() float64 {
+	if b.Offered == 0 {
+		return 1
+	}
+	return float64(b.Admitted) / float64(b.Offered)
+}
+
+// New constructs an engine: one node and one Discovery per topology node,
+// all attached and ready to Run.
+func New(cfg Config, build Builder) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Graph.N()
+	e := &Engine{
+		cfg:      cfg,
+		sched:    sim.New(),
+		cost:     protocol.NewCostModel(cfg.Graph),
+		nodes:    make([]*node.Node, n),
+		disco:    make([]protocol.Discovery, n),
+		envs:     make([]*nodeEnv, n),
+		build:    build,
+		rnd:      rng.New(cfg.Seed).Derive("engine"),
+		above:    make([]bool, n),
+		crossEvs: make([]*sim.Event, n),
+		gen:      make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		capacity := cfg.QueueCapacity
+		if cfg.Capacities != nil && cfg.Capacities[i] > 0 {
+			capacity = cfg.Capacities[i]
+		}
+		e.nodes[i] = node.New(topology.NodeID(i), capacity)
+		e.envs[i] = &nodeEnv{engine: e, id: topology.NodeID(i)}
+		e.disco[i] = build()
+		e.disco[i].Attach(e.envs[i])
+	}
+	e.protoName = e.disco[0].Name()
+	if cfg.FloodRadius > 0 {
+		e.buildScopes()
+	} else if cfg.Groups != nil {
+		e.buildGroupScopes()
+	}
+	return e
+}
+
+// buildGroupScopes derives per-node flood scopes from the group
+// partition: a flood reaches the sender's group members and is charged
+// the group's internal links.
+func (e *Engine) buildGroupScopes() {
+	n := e.cfg.Graph.N()
+	e.scope = make([][]topology.NodeID, n)
+	e.scopeCost = make([]float64, n)
+	groupLinks := map[int]int{}
+	members := map[int][]topology.NodeID{}
+	for i := 0; i < n; i++ {
+		g := e.cfg.Groups[i]
+		members[g] = append(members[g], topology.NodeID(i))
+		for _, nb := range e.cfg.Graph.Neighbors(topology.NodeID(i)) {
+			if e.cfg.Groups[nb] == g && topology.NodeID(i) < nb {
+				groupLinks[g]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		g := e.cfg.Groups[i]
+		for _, m := range members[g] {
+			if m != topology.NodeID(i) {
+				e.scope[i] = append(e.scope[i], m)
+			}
+		}
+		e.scopeCost[i] = float64(groupLinks[g])
+	}
+}
+
+// buildScopes precomputes, for each node, the multicast-group members
+// (nodes within FloodRadius hops) and the scoped flood cost (links of the
+// induced subgraph — the links a radius-bounded flood actually crosses).
+func (e *Engine) buildScopes() {
+	n := e.cfg.Graph.N()
+	r := e.cfg.FloodRadius
+	e.scope = make([][]topology.NodeID, n)
+	e.scopeCost = make([]float64, n)
+	for i := 0; i < n; i++ {
+		src := topology.NodeID(i)
+		inScope := make(map[topology.NodeID]bool, n)
+		for j := 0; j < n; j++ {
+			d := e.cfg.Graph.Dist(src, topology.NodeID(j))
+			if d >= 0 && d <= r {
+				inScope[topology.NodeID(j)] = true
+				if j != i {
+					e.scope[i] = append(e.scope[i], topology.NodeID(j))
+				}
+			}
+		}
+		links := 0
+		for m := range inScope {
+			for _, nb := range e.cfg.Graph.Neighbors(m) {
+				if inScope[nb] && m < nb {
+					links++
+				}
+			}
+		}
+		e.scopeCost[i] = float64(links)
+	}
+}
+
+// ProtocolName returns the Name() of the protocol under test.
+func (e *Engine) ProtocolName() string { return e.protoName }
+
+// Scheduler exposes the clock for attack injectors and tests.
+func (e *Engine) Scheduler() *sim.Scheduler { return e.sched }
+
+// Node returns the i-th node for inspection.
+func (e *Engine) Node(id topology.NodeID) *node.Node { return e.nodes[id] }
+
+// Discovery returns the protocol instance on a node, for inspection.
+func (e *Engine) Discovery(id topology.NodeID) protocol.Discovery { return e.disco[id] }
+
+// Cost returns the message cost model in force.
+func (e *Engine) Cost() protocol.CostModel { return e.cost }
+
+// measuring reports whether stats should be recorded at time t.
+func (e *Engine) measuring(t sim.Time) bool {
+	return t >= e.cfg.Warmup && t < e.cfg.Duration
+}
+
+// Run drives tasks from src until cfg.Duration, lets in-flight work
+// settle, and returns the run's statistics. It may be called once.
+func (e *Engine) Run(src workload.Source) metrics.RunStats {
+	e.scheduleNext(src)
+	e.sched.RunUntil(e.cfg.Duration)
+	// Grace period: no new arrivals (scheduleNext stops generating), but
+	// in-flight migrations and deliveries complete. Message costs incurred
+	// after Duration are outside the measurement window by definition.
+	diam := e.cfg.Graph.Diameter()
+	if diam < 0 {
+		diam = e.cfg.Graph.N()
+	}
+	e.sched.RunUntil(e.cfg.Duration + 2*e.cfg.HopDelay*sim.Time(diam) + 1)
+	if err := e.stats.Validate(); err != nil {
+		panic(err) // engine bug, not user error: fail loudly
+	}
+	return e.stats
+}
+
+// Stats returns the statistics accumulated so far (useful mid-run in
+// attack scenarios driving the scheduler manually).
+func (e *Engine) Stats() metrics.RunStats { return e.stats }
+
+func (e *Engine) scheduleNext(src workload.Source) {
+	t, ok := src.Next()
+	if !ok || t.Arrive >= e.cfg.Duration {
+		return
+	}
+	e.sched.At(t.Arrive, func(now sim.Time) {
+		e.handleArrival(now, t)
+		e.scheduleNext(src)
+	})
+}
+
+// binFor returns the timeline bin covering time t, or nil if binning is
+// off. Bins are appended lazily since arrivals come in time order.
+func (e *Engine) binFor(t sim.Time) *Bin {
+	if e.cfg.BinWidth <= 0 {
+		return nil
+	}
+	idx := int(t / e.cfg.BinWidth)
+	for len(e.bins) <= idx {
+		e.bins = append(e.bins, Bin{Start: sim.Time(len(e.bins)) * e.cfg.BinWidth})
+	}
+	return &e.bins[idx]
+}
+
+// Bins returns the admission timeline (empty unless cfg.BinWidth > 0).
+func (e *Engine) Bins() []Bin { return e.bins }
+
+// Attrs returns a node's current placement attributes (zero when the
+// engine runs unconstrained).
+func (e *Engine) Attrs(id topology.NodeID) resource.Attrs {
+	if e.cfg.Attrs == nil {
+		return resource.Attrs{}
+	}
+	return e.cfg.Attrs[id]
+}
+
+// SetAttrs changes a node's attributes at runtime — the hook security
+// attacks use to downgrade a host's clearance mid-run. It is a no-op
+// refinement when the engine was built without attributes.
+func (e *Engine) SetAttrs(id topology.NodeID, a resource.Attrs) {
+	if e.cfg.Attrs == nil {
+		e.cfg.Attrs = make([]resource.Attrs, e.cfg.Graph.N())
+	}
+	e.cfg.Attrs[id] = a
+}
+
+// satisfies reports whether node id can host a task requiring req.
+func (e *Engine) satisfies(id topology.NodeID, req resource.Attrs) bool {
+	if e.cfg.Attrs == nil {
+		return req == (resource.Attrs{})
+	}
+	return e.cfg.Attrs[id].Satisfies(req)
+}
+
+func (e *Engine) outcome(t workload.Task, admitted bool) {
+	if e.cfg.OnOutcome != nil {
+		e.cfg.OnOutcome(t, admitted)
+	}
+}
+
+func (e *Engine) trace(ev trace.Event) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Record(ev)
+	}
+}
+
+func (e *Engine) handleArrival(now sim.Time, t workload.Task) {
+	measured := e.measuring(now)
+	if measured {
+		e.stats.Offered++
+	}
+	if b := e.binFor(now); b != nil {
+		b.Offered++
+	}
+	e.trace(trace.Event{At: now, Kind: trace.Arrival, Node: t.Node, Peer: -1, Size: t.Size})
+	id := t.Node
+	if !e.nodes[id].Alive() {
+		if !e.cfg.RerouteDeadArrivals {
+			if measured {
+				e.stats.Rejected++
+			}
+			e.trace(trace.Event{At: now, Kind: trace.Reject, Node: id, Peer: -1, Size: t.Size, Info: "dead-node"})
+			e.outcome(t, false)
+			return
+		}
+		alt, ok := e.randomAlive()
+		if !ok {
+			if measured {
+				e.stats.Rejected++
+			}
+			e.trace(trace.Event{At: now, Kind: trace.Reject, Node: id, Peer: -1, Size: t.Size, Info: "no-alive-node"})
+			e.outcome(t, false)
+			return
+		}
+		id = alt
+	}
+
+	// Let the discovery protocol see the arrival first (Algorithm H's
+	// trigger is "whenever a task arrives"). A node that cannot satisfy
+	// the task's attribute requirements (e.g. insufficient security
+	// level) has trivially exceeded that resource's threshold, so the
+	// arrival is presented as maximal demand — this is what makes
+	// resource-triggered migration work even when CPU queues are idle.
+	compatible := e.satisfies(id, t.Require)
+	if compatible {
+		e.disco[id].OnArrival(t.Size)
+	} else {
+		e.disco[id].OnArrival(e.cfg.QueueCapacity)
+	}
+
+	if compatible && e.nodes[id].Accept(now, t.Size) {
+		if measured {
+			e.stats.Admitted++
+		}
+		if b := e.binFor(now); b != nil {
+			b.Admitted++
+		}
+		e.trace(trace.Event{At: now, Kind: trace.AdmitLocal, Node: id, Peer: -1, Size: t.Size})
+		e.outcome(t, true)
+		e.afterAccept(now, id)
+		return
+	}
+	e.tryMigration(now, id, t, measured)
+}
+
+// tryMigration implements the migration try: ask the local protocol for
+// candidates, negotiate with the best one, ship the task, and — within
+// cfg.MaxTries — walk to the next candidate when a destination turns out
+// to be full (Section 3's behaviour; the Section 5 simulation uses the
+// default of a single try).
+func (e *Engine) tryMigration(now sim.Time, from topology.NodeID, t workload.Task, measured bool) {
+	e.tryMigrationN(now, from, t, measured, 1)
+}
+
+func (e *Engine) tryMigrationN(now sim.Time, from topology.NodeID, t workload.Task,
+	measured bool, attempt int) {
+	cands := e.disco[from].Candidates(t.Size)
+	var target topology.NodeID = -1
+	for _, c := range cands {
+		if c.ID != from && e.nodes[c.ID].Alive() && e.satisfies(c.ID, t.Require) {
+			target = c.ID
+			break
+		}
+	}
+	if target < 0 {
+		if measured {
+			e.stats.Rejected++
+		}
+		e.trace(trace.Event{At: now, Kind: trace.Reject, Node: from, Peer: -1, Size: t.Size, Info: "no-candidate"})
+		e.outcome(t, false)
+		return
+	}
+	e.trace(trace.Event{At: now, Kind: trace.MigrateTry, Node: from, Peer: target, Size: t.Size})
+
+	// Admission negotiation between the two admission controls.
+	if measured {
+		e.stats.ControlMsgs++
+		e.stats.MessageUnits += e.cost.ControlUnits
+	}
+
+	dist := e.cfg.Graph.Dist(from, target)
+	if dist < 0 {
+		dist = e.cfg.Graph.N() // disconnected overlay: worst-case latency
+	}
+	delay := e.cfg.HopDelay * sim.Time(dist)
+	fromGen := e.gen[from]
+	arrivedAt := now // bin by arrival time, not completion time
+	e.sched.After(delay, func(arr sim.Time) {
+		// Re-check attributes at acceptance time: a security downgrade
+		// during the transfer voids the placement.
+		ok := e.nodes[target].Alive() && e.satisfies(target, t.Require) &&
+			e.nodes[target].Accept(arr, t.Size)
+		if ok {
+			if measured {
+				e.stats.Admitted++
+				e.stats.Migrated++
+			}
+			if b := e.binFor(arrivedAt); b != nil {
+				b.Admitted++
+			}
+			e.trace(trace.Event{At: arr, Kind: trace.MigrateOK, Node: from, Peer: target, Size: t.Size})
+			e.afterAccept(arr, target)
+		} else {
+			if measured {
+				e.stats.MigrateFail++
+			}
+			e.trace(trace.Event{At: arr, Kind: trace.MigrateFail, Node: from, Peer: target, Size: t.Size})
+		}
+		// Tell the origin's protocol — unless the origin died meanwhile.
+		// A failed try evicts the stale candidate, so the retry below
+		// naturally walks to the next node in the list.
+		originUp := e.gen[from] == fromGen && e.nodes[from].Alive()
+		if originUp {
+			e.disco[from].OnMigrationOutcome(target, t.Size, ok)
+		}
+		if ok {
+			e.outcome(t, true)
+			return
+		}
+		maxTries := e.cfg.MaxTries
+		if maxTries <= 0 {
+			maxTries = 1
+		}
+		if originUp && attempt < maxTries {
+			e.tryMigrationN(arr, from, t, measured, attempt+1)
+			return
+		}
+		if measured {
+			e.stats.Rejected++
+		}
+		e.trace(trace.Event{At: arr, Kind: trace.Reject, Node: from, Peer: -1,
+			Size: t.Size, Info: "tries-exhausted"})
+		e.outcome(t, false)
+	})
+}
+
+func (e *Engine) randomAlive() (topology.NodeID, bool) {
+	alive := make([]topology.NodeID, 0, len(e.nodes))
+	for i, n := range e.nodes {
+		if n.Alive() {
+			alive = append(alive, topology.NodeID(i))
+		}
+	}
+	if len(alive) == 0 {
+		return 0, false
+	}
+	return alive[e.rnd.Intn(len(alive))], true
+}
+
+// afterAccept re-evaluates the node's threshold state after new work was
+// queued: an upward crossing fires OnUsageCrossing(true) immediately and
+// schedules the matching downward crossing at the (deterministic) time
+// the queue drains back to the threshold.
+func (e *Engine) afterAccept(now sim.Time, id topology.NodeID) {
+	thr := e.cfg.Threshold * e.nodes[id].Capacity()
+	backlog := e.nodes[id].Backlog(now)
+	if backlog <= thr {
+		return
+	}
+	if !e.above[id] {
+		e.above[id] = true
+		e.trace(trace.Event{At: now, Kind: trace.CrossUp, Node: id, Peer: -1})
+		e.disco[id].OnUsageCrossing(true)
+	}
+	// (Re)schedule the downward crossing; any previously scheduled one is
+	// stale because the backlog just grew.
+	if e.crossEvs[id] != nil {
+		e.sched.Cancel(e.crossEvs[id])
+	}
+	gen := e.gen[id]
+	e.crossEvs[id] = e.sched.After(sim.Time(backlog-thr), func(at sim.Time) {
+		e.crossEvs[id] = nil
+		if e.gen[id] != gen || !e.nodes[id].Alive() || !e.above[id] {
+			return
+		}
+		e.above[id] = false
+		e.trace(trace.Event{At: at, Kind: trace.CrossDown, Node: id, Peer: -1})
+		e.disco[id].OnUsageCrossing(false)
+	})
+}
+
+// Kill takes a node down: its queue is discarded, its protocol state is
+// dropped, pending timers are disarmed, and it stops receiving messages.
+func (e *Engine) Kill(id topology.NodeID) {
+	if !e.nodes[id].Alive() {
+		return
+	}
+	e.nodes[id].Kill(e.sched.Now())
+	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.NodeKill, Node: id, Peer: -1})
+	e.disco[id].OnNodeDeath()
+	e.gen[id]++
+	e.above[id] = false
+	if e.crossEvs[id] != nil {
+		e.sched.Cancel(e.crossEvs[id])
+		e.crossEvs[id] = nil
+	}
+}
+
+// Revive brings a node back with an empty queue and a brand-new protocol
+// instance (the protocols are stateless across restarts by design).
+func (e *Engine) Revive(id topology.NodeID) {
+	if e.nodes[id].Alive() {
+		return
+	}
+	e.nodes[id].Revive(e.sched.Now())
+	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.NodeRevive, Node: id, Peer: -1})
+	e.gen[id]++
+	e.disco[id] = e.build()
+	e.disco[id].Attach(e.envs[id])
+}
+
+// AliveCount returns how many nodes are currently up.
+func (e *Engine) AliveCount() int {
+	n := 0
+	for _, nd := range e.nodes {
+		if nd.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// nodeEnv implements protocol.Env for one node.
+type nodeEnv struct {
+	engine *Engine
+	id     topology.NodeID
+}
+
+var _ protocol.Env = (*nodeEnv)(nil)
+
+func (v *nodeEnv) Self() topology.NodeID { return v.id }
+func (v *nodeEnv) Now() sim.Time         { return v.engine.sched.Now() }
+
+func (v *nodeEnv) Usage() float64 {
+	return v.engine.nodes[v.id].Usage(v.Now())
+}
+
+func (v *nodeEnv) Headroom() float64 {
+	return v.engine.nodes[v.id].Headroom(v.Now())
+}
+
+func (v *nodeEnv) Capacity() float64 {
+	return v.engine.nodes[v.id].Capacity()
+}
+
+// Flood delivers m to every other alive node with per-hop latency and
+// charges the paper's flood cost (#links) once.
+func (v *nodeEnv) Flood(m protocol.Message) {
+	e := v.engine
+	now := e.sched.Now()
+	units := e.cost.FloodUnits
+	if e.scope != nil {
+		units = e.scopeCost[v.id]
+	}
+	if e.measuring(now) {
+		e.stats.MessageUnits += units
+		switch m.Kind {
+		case protocol.Help:
+			e.stats.HelpMsgs++
+		case protocol.Advert:
+			e.stats.AdvertMsgs++
+		case protocol.Pledge:
+			e.stats.PledgeMsgs++
+		}
+	}
+	e.trace(trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: -1,
+		Info: "flood-" + m.Kind.String()})
+	if e.scope != nil {
+		for _, to := range e.scope[v.id] {
+			v.deliverLater(to, m)
+		}
+		return
+	}
+	for i := range e.nodes {
+		to := topology.NodeID(i)
+		if to == v.id {
+			continue
+		}
+		v.deliverLater(to, m)
+	}
+}
+
+// Unicast delivers m to one node and charges the mean-shortest-path cost.
+func (v *nodeEnv) Unicast(to topology.NodeID, m protocol.Message) {
+	e := v.engine
+	now := e.sched.Now()
+	if e.measuring(now) {
+		e.stats.MessageUnits += e.cost.UnicastUnits
+		switch m.Kind {
+		case protocol.Pledge:
+			e.stats.PledgeMsgs++
+		case protocol.Help, protocol.Relay:
+			e.stats.HelpMsgs++
+		case protocol.Advert:
+			e.stats.AdvertMsgs++
+		}
+	}
+	e.trace(trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: to,
+		Info: m.Kind.String()})
+	v.deliverLater(to, m)
+}
+
+func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
+	e := v.engine
+	dist := e.cfg.Graph.Dist(v.id, to)
+	if dist < 0 {
+		return // unreachable in the overlay: message is lost
+	}
+	if e.cfg.LossProb > 0 && e.rnd.Bernoulli(e.cfg.LossProb) {
+		return // datagram lost in transit
+	}
+	toGen := e.gen[to]
+	e.sched.After(e.cfg.HopDelay*sim.Time(dist), func(sim.Time) {
+		if e.gen[to] == toGen && e.nodes[to].Alive() {
+			e.disco[to].Deliver(m)
+		}
+	})
+}
+
+// After implements protocol.Env timers scoped to the node's current
+// incarnation: callbacks are suppressed after Kill.
+func (v *nodeEnv) After(d sim.Time, fn func()) protocol.Timer {
+	e := v.engine
+	gen := e.gen[v.id]
+	ev := e.sched.After(d, func(sim.Time) {
+		if e.gen[v.id] == gen && e.nodes[v.id].Alive() {
+			fn()
+		}
+	})
+	return &simTimer{sched: e.sched, ev: ev}
+}
+
+type simTimer struct {
+	sched *sim.Scheduler
+	ev    *sim.Event
+}
+
+func (t *simTimer) Stop() { t.sched.Cancel(t.ev) }

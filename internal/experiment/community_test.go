@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"realtor/internal/protocol"
+)
+
+func TestRunCommunity(t *testing.T) {
+	pts := RunCommunity([]float64{2, 8}, 1)
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	light, heavy := pts[0], pts[1]
+	// At λ=2 queues never approach the threshold: no HELPs, no communities.
+	if light.MeanCommunity > 1 {
+		t.Fatalf("communities at trivial load: %+v", light)
+	}
+	// Under overload communities must exist and memberships must respect
+	// the configured cap.
+	if heavy.MeanCommunity <= 0 {
+		t.Fatalf("no communities under load: %+v", heavy)
+	}
+	cap := protocol.DefaultConfig().MaxMemberships
+	if heavy.MaxMemberships > cap {
+		t.Fatalf("membership cap violated: %d > %d", heavy.MaxMemberships, cap)
+	}
+	tab := CommunityTable(pts)
+	if !strings.Contains(tab, "mean-community") ||
+		len(strings.Split(strings.TrimSpace(tab), "\n")) != 3 {
+		t.Fatalf("community table malformed:\n%s", tab)
+	}
+}

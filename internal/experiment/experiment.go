@@ -1,0 +1,433 @@
+// Package experiment runs the paper's evaluation: λ-sweeps of the five
+// discovery protocols with independent replications, and renders the
+// series behind Figures 5–8 as text tables or CSV. It also hosts the
+// extension studies (scalability sweep A2 and the α/β ablation A3 of
+// DESIGN.md).
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"realtor/internal/core"
+	"realtor/internal/engine"
+	"realtor/internal/metrics"
+	"realtor/internal/plot"
+	"realtor/internal/protocol"
+	"realtor/internal/protocol/baseline"
+	"realtor/internal/protocol/gossip"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+// Protocol pairs a display label with a Discovery factory.
+type Protocol struct {
+	Label string
+	Build engine.Builder
+}
+
+// StandardProtocols returns the paper's five contenders, in the order of
+// the figure legends: Pull-.9, Push-1, Push-.9, Pull-100, REALTOR.
+func StandardProtocols(cfg protocol.Config) []Protocol {
+	return []Protocol{
+		{"Pull-.9", func() protocol.Discovery { return baseline.NewPurePull(cfg) }},
+		{"Push-1", func() protocol.Discovery { return baseline.NewPurePush(cfg) }},
+		{"Push-.9", func() protocol.Discovery { return baseline.NewAdaptivePush(cfg) }},
+		{"Pull-100", func() protocol.Discovery { return baseline.NewAdaptivePull(cfg) }},
+		{"REALTOR-100", func() protocol.Discovery { return core.New(cfg) }},
+	}
+}
+
+// protocolDefault is a local alias for the paper's protocol parameters.
+func protocolDefault() protocol.Config { return protocol.DefaultConfig() }
+
+// GossipProtocol returns the modern push-pull anti-entropy comparator
+// (experiment G1) configured for an n-node system.
+func GossipProtocol(cfg protocol.Config, n int, seed int64) Protocol {
+	return Protocol{
+		Label: "Gossip-1",
+		Build: func() protocol.Discovery {
+			return gossip.New(gossip.Config{Protocol: cfg, N: n, Seed: seed})
+		},
+	}
+}
+
+// SweepConfig describes one λ-sweep.
+type SweepConfig struct {
+	Engine       engine.Config // template; Graph and timing fields are used
+	Lambdas      []float64
+	MeanTaskSize float64
+	Replications int
+	BaseSeed     int64
+}
+
+// DefaultSweep returns the paper's Section 5 setup: 5×5 mesh, 100-second
+// queues, task-size mean 5, λ from 1 to 10.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Engine: engine.Config{
+			Graph:         topology.Mesh(5, 5),
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        200,
+			Duration:      2200,
+		},
+		Lambdas:      []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		MeanTaskSize: 5,
+		Replications: 3,
+		BaseSeed:     1,
+	}
+}
+
+// Point is one (protocol, λ) cell aggregated over replications.
+type Point struct {
+	Lambda        float64
+	Admission     metrics.Replication
+	MessageUnits  metrics.Replication
+	CostPerTask   metrics.Replication
+	MigrationRate metrics.Replication
+	Raw           []metrics.RunStats
+}
+
+// Series is one protocol's sweep.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// RunSweep executes the full sweep. Replication r of every (protocol, λ)
+// cell shares workload seed BaseSeed+r, so protocol comparisons are
+// paired: every contender sees the identical task sequence.
+func RunSweep(sc SweepConfig, protos []Protocol) []Series {
+	if sc.Replications <= 0 {
+		panic("experiment: need at least one replication")
+	}
+	out := make([]Series, len(protos))
+	for pi, p := range protos {
+		out[pi].Label = p.Label
+		out[pi].Points = make([]Point, 0, len(sc.Lambdas))
+		for _, lambda := range sc.Lambdas {
+			pt := Point{Lambda: lambda}
+			for r := 0; r < sc.Replications; r++ {
+				st := runOnce(sc, p, lambda, sc.BaseSeed+int64(r))
+				pt.Raw = append(pt.Raw, st)
+				pt.Admission.Observe(st.AdmissionProbability())
+				pt.MessageUnits.Observe(st.MessageUnits)
+				pt.CostPerTask.Observe(st.CostPerAdmitted())
+				pt.MigrationRate.Observe(st.MigrationRate())
+			}
+			out[pi].Points = append(out[pi].Points, pt)
+		}
+	}
+	return out
+}
+
+func runOnce(sc SweepConfig, p Protocol, lambda float64, seed int64) metrics.RunStats {
+	ecfg := sc.Engine
+	ecfg.Seed = seed
+	e := engine.New(ecfg, p.Build)
+	src := workload.NewPoisson(lambda, sc.MeanTaskSize, ecfg.Graph.N(), rng.New(seed))
+	return e.Run(src)
+}
+
+// Metric selects which figure's y-value to render.
+type Metric int
+
+// The four y-axes of the paper's simulation figures.
+const (
+	Admission     Metric = iota // Fig. 5
+	MessageUnits                // Fig. 6
+	CostPerTask                 // Fig. 7
+	MigrationRate               // Fig. 8
+)
+
+// String names the metric as in the paper's figure captions.
+func (m Metric) String() string {
+	switch m {
+	case Admission:
+		return "admission-probability"
+	case MessageUnits:
+		return "number-of-messages"
+	case CostPerTask:
+		return "message-cost-per-task"
+	case MigrationRate:
+		return "migration-rate"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+func (m Metric) value(p Point) *metrics.Replication {
+	switch m {
+	case Admission:
+		return &p.Admission
+	case MessageUnits:
+		return &p.MessageUnits
+	case CostPerTask:
+		return &p.CostPerTask
+	case MigrationRate:
+		return &p.MigrationRate
+	default:
+		panic("experiment: unknown metric")
+	}
+}
+
+// Table renders a fixed-width text table: one row per λ, one column per
+// protocol, mean values of the chosen metric.
+func Table(series []Series, m Metric) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "lambda")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%14s", s.Label)
+	}
+	b.WriteByte('\n')
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%-8.3g", series[0].Points[i].Lambda)
+		for _, s := range series {
+			fmt.Fprintf(&b, "%14.4f", m.value(s.Points[i]).Mean())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders the sweep as an ASCII line chart (the paper's figures,
+// drawn in the terminal).
+func Chart(series []Series, m Metric) string {
+	var ps []plot.Series
+	for _, s := range series {
+		var xs, ys []float64
+		for _, p := range s.Points {
+			xs = append(xs, p.Lambda)
+			ys = append(ys, m.value(p).Mean())
+		}
+		ps = append(ps, plot.Series{Label: s.Label, X: xs, Y: ys})
+	}
+	return plot.Render(plot.Config{
+		Width:  64,
+		Height: 18,
+		Title:  m.String(),
+		XLabel: "lambda (tasks/s)",
+		YLabel: m.String(),
+	}, ps...)
+}
+
+// CSV renders the same data as comma-separated values with a header,
+// including the 95% confidence half-width per cell.
+func CSV(series []Series, m Metric) string {
+	var b strings.Builder
+	b.WriteString("lambda")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s,%s_ci95", s.Label, s.Label)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%g", series[0].Points[i].Lambda)
+		for _, s := range series {
+			v := m.value(s.Points[i])
+			fmt.Fprintf(&b, ",%g,%g", v.Mean(), v.CI95())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ScalePoint is one system size of the scalability study (A2): the mean
+// per-node, per-second discovery overhead in message units.
+type ScalePoint struct {
+	Nodes            int
+	Links            int
+	UnitsPerNodeSec  float64
+	Admission        float64
+	UnitsTotal       float64
+	HelpsPlusAdverts uint64
+}
+
+// RunScale measures discovery overhead across mesh sizes at a fixed
+// per-node load (λ scales with N so each node sees the same traffic).
+// The paper claims REALTOR's overhead is "system-size independent" in
+// per-node terms — while assuming "a mechanism in place limiting the
+// scope of neighbors, for example, as an IP multicast group". radius = 0
+// floods system-wide (the paper's 25-node setting); radius > 0 bounds
+// every flood to that many hops, which is what makes the per-node
+// overhead flat as the system grows.
+func RunScale(sizes []int, perNodeLambda float64, radius int, p Protocol, seed int64) []ScalePoint {
+	out := make([]ScalePoint, 0, len(sizes))
+	for _, n := range sizes {
+		g := topology.Mesh(n, n)
+		ecfg := engine.Config{
+			Graph:         g,
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        100,
+			Duration:      1100,
+			Seed:          seed,
+			FloodRadius:   radius,
+		}
+		e := engine.New(ecfg, p.Build)
+		lambda := perNodeLambda * float64(g.N())
+		src := workload.NewPoisson(lambda, 5, g.N(), rng.New(seed))
+		st := e.Run(src)
+		window := float64(ecfg.Duration - ecfg.Warmup)
+		out = append(out, ScalePoint{
+			Nodes:            g.N(),
+			Links:            g.Links(),
+			UnitsPerNodeSec:  st.MessageUnits / float64(g.N()) / window,
+			Admission:        st.AdmissionProbability(),
+			UnitsTotal:       st.MessageUnits,
+			HelpsPlusAdverts: st.HelpMsgs + st.AdvertMsgs,
+		})
+	}
+	return out
+}
+
+// ScaleTable renders the scalability study.
+func ScaleTable(points []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s%-8s%-18s%-14s%-14s\n",
+		"nodes", "links", "units/node/sec", "admission", "floods")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d%-8d%-18.4f%-14.4f%-14d\n",
+			p.Nodes, p.Links, p.UnitsPerNodeSec, p.Admission, p.HelpsPlusAdverts)
+	}
+	return b.String()
+}
+
+// AblationPoint is one (α, β) cell of the Algorithm H sensitivity study.
+type AblationPoint struct {
+	Alpha, Beta float64
+	Admission   float64
+	CostPerTask float64
+	Helps       uint64
+}
+
+// RunAlphaBeta sweeps Algorithm H's penalty/reward factors for REALTOR at
+// a fixed load, quantifying the design choice the paper leaves "subject
+// to the local resource manager".
+func RunAlphaBeta(alphas, betas []float64, lambda float64, seed int64) []AblationPoint {
+	base := protocol.DefaultConfig()
+	var out []AblationPoint
+	for _, a := range alphas {
+		for _, bta := range betas {
+			cfg := base
+			cfg.Alpha, cfg.Beta = a, bta
+			ecfg := engine.Config{
+				Graph:         topology.Mesh(5, 5),
+				QueueCapacity: 100,
+				HopDelay:      0.01,
+				Threshold:     0.9,
+				Warmup:        200,
+				Duration:      1200,
+				Seed:          seed,
+			}
+			e := engine.New(ecfg, func() protocol.Discovery { return core.New(cfg) })
+			src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
+			st := e.Run(src)
+			out = append(out, AblationPoint{
+				Alpha:       a,
+				Beta:        bta,
+				Admission:   st.AdmissionProbability(),
+				CostPerTask: st.CostPerAdmitted(),
+				Helps:       st.HelpMsgs,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Alpha != out[j].Alpha {
+			return out[i].Alpha < out[j].Alpha
+		}
+		return out[i].Beta < out[j].Beta
+	})
+	return out
+}
+
+// AblationTable renders the α/β study.
+func AblationTable(points []AblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s%-8s%-14s%-16s%-10s\n", "alpha", "beta", "admission", "cost/task", "helps")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8.2f%-8.2f%-14.4f%-16.2f%-10d\n",
+			p.Alpha, p.Beta, p.Admission, p.CostPerTask, p.Helps)
+	}
+	return b.String()
+}
+
+// FigureSweep narrows a sweep's duration/replications for quick runs
+// (tests, benchmarks) while keeping the paper's topology and parameters.
+func FigureSweep(lambdas []float64, duration sim.Time, reps int) SweepConfig {
+	sc := DefaultSweep()
+	sc.Lambdas = lambdas
+	sc.Engine.Warmup = duration / 10
+	sc.Engine.Duration = duration
+	sc.Replications = reps
+	return sc
+}
+
+// PairedDiff computes, per λ, the replication-paired difference of a
+// metric between each series and the base series (replication r of every
+// protocol shares workload seed BaseSeed+r, so differences cancel the
+// workload noise). It returns one row per λ with "mean ± ci95" cells per
+// non-base protocol — the statistically honest way to rank protocols
+// whose curves sit within each other's marginal CIs.
+func PairedDiff(series []Series, m Metric, baseLabel string) (string, error) {
+	var base *Series
+	for i := range series {
+		if series[i].Label == baseLabel {
+			base = &series[i]
+		}
+	}
+	if base == nil {
+		return "", fmt.Errorf("experiment: base series %q not found", baseLabel)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "paired difference vs %s (%s)\n", baseLabel, m)
+	fmt.Fprintf(&b, "%-8s", "lambda")
+	for _, s := range series {
+		if s.Label == baseLabel {
+			continue
+		}
+		fmt.Fprintf(&b, "%22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for pi, bp := range base.Points {
+		fmt.Fprintf(&b, "%-8.3g", bp.Lambda)
+		for _, s := range series {
+			if s.Label == baseLabel {
+				continue
+			}
+			var diff metrics.Replication
+			for r := range bp.Raw {
+				diff.Observe(rawMetric(s.Points[pi].Raw[r], m) - rawMetric(bp.Raw[r], m))
+			}
+			fmt.Fprintf(&b, "%22s", diff.Format())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+func rawMetric(st metrics.RunStats, m Metric) float64 {
+	switch m {
+	case Admission:
+		return st.AdmissionProbability()
+	case MessageUnits:
+		return st.MessageUnits
+	case CostPerTask:
+		return st.CostPerAdmitted()
+	case MigrationRate:
+		return st.MigrationRate()
+	default:
+		panic("experiment: unknown metric")
+	}
+}

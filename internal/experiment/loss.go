@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"realtor/internal/engine"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+// LossPoint is one (protocol, loss-rate) cell of the robustness study
+// (R1): the paper claims REALTOR "works well in highly adverse
+// environments due to its statelessness"; this measures how admission
+// degrades as the network drops discovery messages.
+type LossPoint struct {
+	Loss      float64
+	Admission map[string]float64 // by protocol label
+}
+
+// RunLoss sweeps message-loss probabilities at a fixed load for the
+// given protocols.
+func RunLoss(losses []float64, lambda float64, protos []Protocol, seed int64) []LossPoint {
+	out := make([]LossPoint, 0, len(losses))
+	for _, loss := range losses {
+		pt := LossPoint{Loss: loss, Admission: make(map[string]float64, len(protos))}
+		for _, p := range protos {
+			ecfg := engine.Config{
+				Graph:         topology.Mesh(5, 5),
+				QueueCapacity: 100,
+				HopDelay:      0.01,
+				Threshold:     0.9,
+				Warmup:        200,
+				Duration:      1200,
+				Seed:          seed,
+				LossProb:      loss,
+			}
+			e := engine.New(ecfg, p.Build)
+			src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
+			pt.Admission[p.Label] = e.Run(src).AdmissionProbability()
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// LossTable renders the robustness study: one row per loss rate, one
+// column per protocol.
+func LossTable(points []LossPoint, protos []Protocol) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "loss")
+	for _, p := range protos {
+		fmt.Fprintf(&b, "%14s", p.Label)
+	}
+	b.WriteByte('\n')
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%-8.2f", pt.Loss)
+		for _, p := range protos {
+			fmt.Fprintf(&b, "%14.4f", pt.Admission[p.Label])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

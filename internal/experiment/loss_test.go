@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"realtor/internal/protocol"
+)
+
+func TestRunLossGracefulDegradation(t *testing.T) {
+	protos := StandardProtocols(protocol.DefaultConfig())[4:] // REALTOR
+	pts := RunLoss([]float64{0, 0.5}, 7, protos, 1)
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	clean := pts[0].Admission["REALTOR-100"]
+	lossy := pts[1].Admission["REALTOR-100"]
+	if clean <= 0 || lossy <= 0 {
+		t.Fatalf("missing admission values: %v %v", clean, lossy)
+	}
+	// The statelessness claim quantified: even with half the discovery
+	// messages dropped, admission must stay within a few points of the
+	// lossless run — nothing in the protocol needs reliable delivery.
+	if clean-lossy > 0.05 {
+		t.Fatalf("REALTOR degraded %.4f -> %.4f under 50%% loss", clean, lossy)
+	}
+	tab := LossTable(pts, protos)
+	if !strings.Contains(tab, "loss") || !strings.Contains(tab, "REALTOR-100") {
+		t.Fatalf("loss table malformed:\n%s", tab)
+	}
+}
+
+func TestLossConfigValidation(t *testing.T) {
+	sc := DefaultSweep()
+	sc.Engine.LossProb = 1.0
+	if sc.Engine.Validate() == nil {
+		t.Fatal("loss=1 accepted")
+	}
+	sc.Engine.LossProb = -0.1
+	if sc.Engine.Validate() == nil {
+		t.Fatal("negative loss accepted")
+	}
+}

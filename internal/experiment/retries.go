@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"realtor/internal/engine"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+// RetryPoint is one cell of the migration-retry ablation (A7): the
+// paper's simulation pins a single migration try ("one-time migration
+// try to the best candidate", Section 5) while its runtime walks the
+// candidate list (Section 3). This quantifies what that simplification
+// costs.
+type RetryPoint struct {
+	Lambda      float64
+	Tries       int
+	Admission   float64
+	MigrateFail uint64
+	CtrlMsgs    uint64
+}
+
+// RunRetries sweeps MaxTries for REALTOR across loads.
+func RunRetries(lambdas []float64, tries []int, seed int64) []RetryPoint {
+	var out []RetryPoint
+	proto := StandardProtocols(protocolDefault())[4]
+	for _, lambda := range lambdas {
+		for _, n := range tries {
+			ecfg := engine.Config{
+				Graph:         topology.Mesh(5, 5),
+				QueueCapacity: 100,
+				HopDelay:      0.01,
+				Threshold:     0.9,
+				Warmup:        200,
+				Duration:      1200,
+				Seed:          seed,
+				MaxTries:      n,
+			}
+			e := engine.New(ecfg, proto.Build)
+			src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
+			st := e.Run(src)
+			out = append(out, RetryPoint{
+				Lambda:      lambda,
+				Tries:       n,
+				Admission:   st.AdmissionProbability(),
+				MigrateFail: st.MigrateFail,
+				CtrlMsgs:    st.ControlMsgs,
+			})
+		}
+	}
+	return out
+}
+
+// RetryTable renders the ablation.
+func RetryTable(points []RetryPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s%-8s%-12s%-14s%-12s\n",
+		"lambda", "tries", "admission", "failed-tries", "ctrl-msgs")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8.3g%-8d%-12.4f%-14d%-12d\n",
+			p.Lambda, p.Tries, p.Admission, p.MigrateFail, p.CtrlMsgs)
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRetries(t *testing.T) {
+	pts := RunRetries([]float64{8}, []int{1, 3}, 1)
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	one, three := pts[0], pts[1]
+	if one.Tries != 1 || three.Tries != 3 {
+		t.Fatalf("tries ordering %+v", pts)
+	}
+	// Walking the list can only help admission and must cost more
+	// negotiation traffic at overload.
+	if three.Admission < one.Admission-0.005 {
+		t.Fatalf("retries hurt admission: %v -> %v", one.Admission, three.Admission)
+	}
+	if three.CtrlMsgs <= one.CtrlMsgs {
+		t.Fatalf("retries did not increase control traffic: %d -> %d",
+			one.CtrlMsgs, three.CtrlMsgs)
+	}
+	tab := RetryTable(pts)
+	if !strings.Contains(tab, "failed-tries") ||
+		len(strings.Split(strings.TrimSpace(tab), "\n")) != 3 {
+		t.Fatalf("retry table malformed:\n%s", tab)
+	}
+}

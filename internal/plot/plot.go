@@ -1,0 +1,167 @@
+// Package plot renders multi-series line charts as plain text, so the
+// CLI tools can draw the paper's figures directly in a terminal — no
+// external plotting stack, in keeping with the stdlib-only module.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve. X values must be sorted ascending.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// markers are assigned to series in order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Config sizes the canvas.
+type Config struct {
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	Title  string
+	YLabel string
+	XLabel string
+}
+
+// Render draws the series onto one chart. Series with mismatched X/Y
+// lengths panic (caller bug); empty input yields an empty string.
+func Render(cfg Config, series ...Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			panic(fmt.Sprintf("plot: series %q has %d x values and %d y values",
+				s.Label, len(s.X), len(s.Y)))
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return ""
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom so the top curve doesn't hug the frame.
+	ymax += (ymax - ymin) * 0.05
+
+	grid := make([][]rune, cfg.Height)
+	for r := range grid {
+		grid[r] = make([]rune, cfg.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(cfg.Width-1)))
+		return clamp(c, 0, cfg.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(cfg.Height-1)))
+		return clamp(r, 0, cfg.Height-1)
+	}
+
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Connect consecutive points with interpolated marks so sparse
+		// series still read as curves.
+		for i := 0; i < len(s.X); i++ {
+			if i > 0 {
+				c0, r0 := col(s.X[i-1]), row(s.Y[i-1])
+				c1, r1 := col(s.X[i]), row(s.Y[i])
+				steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+				for st := 1; st < steps; st++ {
+					cc := c0 + (c1-c0)*st/steps
+					rr := r0 + (r1-r0)*st/steps
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[row(s.Y[i])][col(s.X[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	axisW := 10
+	for r := 0; r < cfg.Height; r++ {
+		// Y tick on the first, middle and last rows.
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", axisW, trimNum(ymax))
+		case cfg.Height / 2:
+			fmt.Fprintf(&b, "%*s |", axisW, trimNum((ymax+ymin)/2))
+		case cfg.Height - 1:
+			fmt.Fprintf(&b, "%*s |", axisW, trimNum(ymin))
+		default:
+			fmt.Fprintf(&b, "%*s |", axisW, "")
+		}
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", axisW, "", strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", axisW, "", cfg.Width-len(trimNum(xmax)),
+		trimNum(xmin), trimNum(xmax))
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s    y: %s\n", axisW, "", cfg.XLabel, cfg.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", axisW, "", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

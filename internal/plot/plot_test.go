@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func lines(s string) []string { return strings.Split(strings.TrimRight(s, "\n"), "\n") }
+
+func TestEmptyInput(t *testing.T) {
+	if Render(Config{}) != "" {
+		t.Fatal("no series should render empty")
+	}
+	if Render(Config{}, Series{Label: "e"}) != "" {
+		t.Fatal("empty series should render empty")
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Render(Config{}, Series{Label: "bad", X: []float64{1, 2}, Y: []float64{1}})
+}
+
+func TestRenderShape(t *testing.T) {
+	out := Render(Config{Width: 40, Height: 10, Title: "demo", XLabel: "λ", YLabel: "adm"},
+		Series{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		Series{Label: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	)
+	ls := lines(out)
+	// title + 10 rows + axis + x labels + xy label line + 2 legend lines
+	if len(ls) != 1+10+1+1+1+2 {
+		t.Fatalf("line count %d:\n%s", len(ls), out)
+	}
+	if ls[0] != "demo" {
+		t.Fatalf("title %q", ls[0])
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// The rising series' marker must appear in the top row at the right
+	// and the falling series' marker in the top row at the left.
+	top := ls[1]
+	starPos := strings.IndexRune(top, '*')
+	oPos := strings.IndexRune(top, 'o')
+	if starPos < 0 || oPos < 0 || starPos <= oPos {
+		t.Fatalf("top row misplaced markers (star=%d o=%d):\n%s", starPos, oPos, out)
+	}
+}
+
+func TestAxisTicks(t *testing.T) {
+	out := Render(Config{Width: 30, Height: 8},
+		Series{Label: "s", X: []float64{1, 10}, Y: []float64{0.5, 0.9}})
+	if !strings.Contains(out, "0.5") {
+		t.Fatalf("ymin tick missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "10") {
+		t.Fatalf("x ticks missing:\n%s", out)
+	}
+}
+
+func TestFlatSeriesDoesNotDivideByZero(t *testing.T) {
+	out := Render(Config{Width: 20, Height: 5},
+		Series{Label: "flat", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	out := Render(Config{Width: 20, Height: 5},
+		Series{Label: "dot", X: []float64{5}, Y: []float64{5}})
+	// One mark in the plot area plus one in the legend.
+	if strings.Count(out, "*") != 2 {
+		t.Fatalf("single point drawn %d times:\n%s", strings.Count(out, "*"), out)
+	}
+}
+
+func TestInterpolationConnectsSparsePoints(t *testing.T) {
+	out := Render(Config{Width: 40, Height: 10},
+		Series{Label: "s", X: []float64{0, 10}, Y: []float64{0, 10}})
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no interpolation dots between far-apart points:\n%s", out)
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 10; i++ {
+		ss = append(ss, Series{Label: "s", X: []float64{0, 1}, Y: []float64{float64(i), float64(i)}})
+	}
+	out := Render(Config{Width: 20, Height: 12}, ss...)
+	// marker 8 wraps to '*' again
+	if strings.Count(out, "* s") != 2 {
+		t.Fatalf("marker cycling broken:\n%s", out)
+	}
+}

@@ -1,0 +1,329 @@
+// Package baseline implements the four comparison protocols of the
+// paper's Section 4/5 evaluation:
+//
+//	Push-1   pure PUSH:     unconditional availability flood every second
+//	Push-.9  adaptive PUSH: availability flood on every threshold crossing
+//	Pull-.9  pure PULL:     HELP flood on every qualifying arrival, one
+//	                        PLEDGE reply per HELP
+//	Pull-100 adaptive PULL: Algorithm H-governed HELP (interval adapts,
+//	                        capped at 100), one PLEDGE reply per HELP
+//
+// They share the framework types of package protocol; Adaptive PULL
+// reuses REALTOR's HELP governor, since the paper defines it as REALTOR
+// minus the push component.
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"realtor/internal/core"
+	"realtor/internal/protocol"
+	"realtor/internal/topology"
+)
+
+// fracName renders a threshold the way the paper's legends do: 0.9 → ".9".
+func fracName(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return strings.TrimPrefix(s, "0")
+}
+
+// listBase carries the availability list and migration bookkeeping shared
+// by every baseline.
+type listBase struct {
+	cfg  protocol.Config
+	env  protocol.Env
+	list *protocol.PledgeList
+	dead bool
+}
+
+func newListBase(cfg protocol.Config) listBase {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return listBase{cfg: cfg, list: protocol.NewPledgeList(cfg.EntryTTL)}
+}
+
+func (b *listBase) attach(env protocol.Env) { b.env = env }
+
+// Candidates filters the availability list to entries that fit the task.
+func (b *listBase) Candidates(size float64) []protocol.Candidate {
+	if b.dead {
+		return nil
+	}
+	snap := b.list.Snapshot(b.env.Now())
+	out := snap[:0]
+	for _, c := range snap {
+		if c.Headroom >= size {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OnMigrationOutcome debits or drops the tried candidate.
+func (b *listBase) OnMigrationOutcome(target topology.NodeID, size float64, success bool) {
+	if success {
+		b.list.Debit(target, size)
+	} else {
+		b.list.Remove(target)
+	}
+}
+
+func (b *listBase) onDeath() {
+	b.dead = true
+	b.list = protocol.NewPledgeList(b.cfg.EntryTTL)
+}
+
+func (b *listBase) advert(headroom float64) protocol.Message {
+	return protocol.Message{Kind: protocol.Advert, From: b.env.Self(), Headroom: headroom}
+}
+
+// PurePush is Push-1: every node floods its availability every
+// PushInterval seconds, regardless of load — the paper's high-overhead
+// reference point.
+type PurePush struct {
+	listBase
+	timer protocol.Timer
+}
+
+var _ protocol.Discovery = (*PurePush)(nil)
+
+// NewPurePush returns a Push-1 instance.
+func NewPurePush(cfg protocol.Config) *PurePush {
+	return &PurePush{listBase: newListBase(cfg)}
+}
+
+// Name follows the paper's figure legend.
+func (p *PurePush) Name() string {
+	return fmt.Sprintf("Push-%g", float64(p.cfg.PushInterval))
+}
+
+// Attach starts the periodic advertisement chain.
+func (p *PurePush) Attach(env protocol.Env) {
+	p.attach(env)
+	p.arm()
+}
+
+func (p *PurePush) arm() {
+	p.timer = p.env.After(p.cfg.PushInterval, func() {
+		if p.dead {
+			return
+		}
+		p.env.Flood(p.advert(p.env.Headroom()))
+		p.arm()
+	})
+}
+
+// OnArrival is a no-op: pure push never solicits.
+func (p *PurePush) OnArrival(float64) {}
+
+// OnUsageCrossing is a no-op: dissemination is purely periodic.
+func (p *PurePush) OnUsageCrossing(bool) {}
+
+// Deliver records availability adverts.
+func (p *PurePush) Deliver(m protocol.Message) {
+	if p.dead {
+		return
+	}
+	if m.Kind == protocol.Advert || m.Kind == protocol.Pledge {
+		p.list.Update(p.env.Now(), m.From, m.Headroom)
+	}
+}
+
+// OnNodeDeath stops the advertisement chain and clears state.
+func (p *PurePush) OnNodeDeath() {
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.onDeath()
+}
+
+// AdaptivePush is Push-.9: a node floods its availability only when its
+// usage crosses the threshold — rising crossings retract, falling ones
+// re-advertise.
+type AdaptivePush struct {
+	listBase
+}
+
+var _ protocol.Discovery = (*AdaptivePush)(nil)
+
+// NewAdaptivePush returns a Push-.9 instance.
+func NewAdaptivePush(cfg protocol.Config) *AdaptivePush {
+	return &AdaptivePush{listBase: newListBase(cfg)}
+}
+
+// Name follows the paper's figure legend.
+func (p *AdaptivePush) Name() string {
+	return "Push-" + fracName(p.cfg.Threshold)
+}
+
+// Attach binds the environment; adaptive push sends nothing until a
+// crossing happens.
+func (p *AdaptivePush) Attach(env protocol.Env) { p.attach(env) }
+
+// OnArrival is a no-op.
+func (p *AdaptivePush) OnArrival(float64) {}
+
+// OnUsageCrossing floods the new availability state.
+func (p *AdaptivePush) OnUsageCrossing(rising bool) {
+	if p.dead {
+		return
+	}
+	headroom := p.env.Headroom()
+	if rising {
+		headroom = 0
+	}
+	p.env.Flood(p.advert(headroom))
+}
+
+// Deliver records availability adverts.
+func (p *AdaptivePush) Deliver(m protocol.Message) {
+	if p.dead {
+		return
+	}
+	if m.Kind == protocol.Advert || m.Kind == protocol.Pledge {
+		p.list.Update(p.env.Now(), m.From, m.Headroom)
+	}
+}
+
+// OnNodeDeath clears state.
+func (p *AdaptivePush) OnNodeDeath() { p.onDeath() }
+
+// PurePull is Pull-.9: every qualifying arrival (queue incl. the new task
+// above threshold) floods a HELP, with no interval gating; receivers
+// below threshold reply exactly once per HELP.
+type PurePull struct {
+	listBase
+}
+
+var _ protocol.Discovery = (*PurePull)(nil)
+
+// NewPurePull returns a Pull-.9 instance.
+func NewPurePull(cfg protocol.Config) *PurePull {
+	return &PurePull{listBase: newListBase(cfg)}
+}
+
+// Name follows the paper's figure legend.
+func (p *PurePull) Name() string {
+	return "Pull-" + fracName(p.cfg.Threshold)
+}
+
+// Attach binds the environment.
+func (p *PurePull) Attach(env protocol.Env) { p.attach(env) }
+
+// OnArrival floods HELP whenever the arrival would push usage above the
+// threshold — the unbounded solicitation the paper criticizes.
+func (p *PurePull) OnArrival(size float64) {
+	if p.dead {
+		return
+	}
+	backlog := p.env.Capacity() - p.env.Headroom()
+	if backlog+size > p.cfg.Threshold*p.env.Capacity() {
+		p.env.Flood(protocol.Message{Kind: protocol.Help, From: p.env.Self(), Demand: size})
+	}
+}
+
+// OnUsageCrossing is a no-op: pure pull members never volunteer.
+func (p *PurePull) OnUsageCrossing(bool) {}
+
+// Deliver replies to HELP once (Algorithm P's first rule only) and
+// records pledges.
+func (p *PurePull) Deliver(m protocol.Message) {
+	if p.dead {
+		return
+	}
+	switch m.Kind {
+	case protocol.Help:
+		if p.env.Usage() < p.cfg.Threshold {
+			p.env.Unicast(m.From, protocol.Message{
+				Kind:     protocol.Pledge,
+				From:     p.env.Self(),
+				Headroom: p.env.Headroom(),
+			})
+		}
+	case protocol.Pledge, protocol.Advert:
+		p.list.Update(p.env.Now(), m.From, m.Headroom)
+	}
+}
+
+// OnNodeDeath clears state.
+func (p *PurePull) OnNodeDeath() { p.onDeath() }
+
+// AdaptivePull is Pull-100: HELP emission gated by a fixed time window
+// of Upper_limit seconds ("adaptive-pull time window = 100" in every
+// figure caption; "limits HELP interval ... the limiting value is 100
+// time units"). Members reply exactly once per HELP and never pledge
+// spontaneously — REALTOR without its push half and without interval
+// adaptation. It reuses REALTOR's HELP governor pinned to the window
+// (α = β = 0, initial interval = Upper_limit).
+type AdaptivePull struct {
+	listBase
+	gov *core.HelpGovernor
+}
+
+var _ protocol.Discovery = (*AdaptivePull)(nil)
+
+// NewAdaptivePull returns a Pull-100 instance.
+func NewAdaptivePull(cfg protocol.Config) *AdaptivePull {
+	fixed := cfg
+	fixed.Alpha, fixed.Beta = 0, 0
+	fixed.HelpInit = fixed.HelpUpper
+	return &AdaptivePull{listBase: newListBase(cfg), gov: core.NewHelpGovernor(fixed)}
+}
+
+// Name follows the paper's figure legend.
+func (p *AdaptivePull) Name() string {
+	return fmt.Sprintf("Pull-%g", float64(p.cfg.HelpUpper))
+}
+
+// Attach binds the environment.
+func (p *AdaptivePull) Attach(env protocol.Env) {
+	p.attach(env)
+	p.gov.Attach(env)
+}
+
+// OnArrival runs Algorithm H.
+func (p *AdaptivePull) OnArrival(size float64) {
+	if p.dead {
+		return
+	}
+	p.gov.MaybeHelp(size, func() protocol.Message {
+		return protocol.Message{Kind: protocol.Help, From: p.env.Self(), Demand: size}
+	})
+}
+
+// OnUsageCrossing is a no-op: no push component.
+func (p *AdaptivePull) OnUsageCrossing(bool) {}
+
+// Deliver replies to HELP once per message and records pledges,
+// forwarding them to the governor's reward path.
+func (p *AdaptivePull) Deliver(m protocol.Message) {
+	if p.dead {
+		return
+	}
+	switch m.Kind {
+	case protocol.Help:
+		if p.env.Usage() < p.cfg.Threshold {
+			p.env.Unicast(m.From, protocol.Message{
+				Kind:     protocol.Pledge,
+				From:     p.env.Self(),
+				Headroom: p.env.Headroom(),
+			})
+		}
+	case protocol.Pledge:
+		p.list.Update(p.env.Now(), m.From, m.Headroom)
+		p.gov.OnPledge()
+	case protocol.Advert:
+		p.list.Update(p.env.Now(), m.From, m.Headroom)
+	}
+}
+
+// OnNodeDeath stops the governor and clears state.
+func (p *AdaptivePull) OnNodeDeath() {
+	p.gov.Stop()
+	p.onDeath()
+}
+
+// Governor exposes Algorithm H state for tests.
+func (p *AdaptivePull) Governor() *core.HelpGovernor { return p.gov }

@@ -1,0 +1,215 @@
+// Package gossip implements a push-pull anti-entropy availability
+// protocol in the style REALTOR's ideas later reappeared in (SWIM,
+// memberlist, Serf): every node periodically picks a uniformly random
+// peer and exchanges its availability view; the peer merges and answers
+// with its own view. It is not in the paper — it exists as the modern
+// comparator (experiment G1), measuring what two decades of gossip
+// literature would have offered against HELP/PLEDGE communities.
+//
+// Views are soft state with the same TTL discipline as pledge lists, so
+// the comparison isolates the dissemination strategy, not the state
+// model.
+package gossip
+
+import (
+	"fmt"
+
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+)
+
+// Config tunes the gossip comparator.
+type Config struct {
+	Protocol protocol.Config
+	// N is the node-ID space to pick peers from.
+	N int
+	// Fanout is how many entries each exchange carries at most (the
+	// freshest ones); 0 means all.
+	Fanout int
+	// Seed drives peer selection, mixed with the node's own ID so every
+	// instance draws an independent deterministic stream.
+	Seed int64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if err := c.Protocol.Validate(); err != nil {
+		return err
+	}
+	if c.N < 2 {
+		return fmt.Errorf("gossip: need at least 2 nodes")
+	}
+	if c.Fanout < 0 {
+		return fmt.Errorf("gossip: negative fanout")
+	}
+	return nil
+}
+
+// Protocol is the gossip Discovery implementation.
+type Protocol struct {
+	cfg  Config
+	env  protocol.Env
+	view *protocol.PledgeList
+	rnd  *rng.Stream
+	tick protocol.Timer
+	dead bool
+
+	exchanges uint64
+}
+
+var _ protocol.Discovery = (*Protocol)(nil)
+
+// New returns a gossip instance.
+func New(cfg Config) *Protocol {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Protocol{
+		cfg:  cfg,
+		view: protocol.NewPledgeList(cfg.Protocol.EntryTTL),
+	}
+}
+
+// Name labels the protocol like the paper's legends: Gossip-<interval>.
+func (g *Protocol) Name() string {
+	return fmt.Sprintf("Gossip-%g", float64(g.cfg.Protocol.PushInterval))
+}
+
+// Attach binds the environment, seeds the peer-selection stream with the
+// node's identity, and starts the gossip rounds.
+func (g *Protocol) Attach(env protocol.Env) {
+	g.env = env
+	g.rnd = rng.New(g.cfg.Seed + int64(env.Self())*1_000_003).Derive("gossip")
+	g.arm()
+}
+
+func (g *Protocol) arm() {
+	g.tick = g.env.After(g.cfg.Protocol.PushInterval, func() {
+		if g.dead {
+			return
+		}
+		g.round()
+		g.arm()
+	})
+}
+
+// round performs one push half of a push-pull exchange with a random
+// peer.
+func (g *Protocol) round() {
+	peer := g.pickPeer()
+	g.exchanges++
+	g.env.Unicast(peer, protocol.Message{
+		Kind: protocol.Gossip,
+		From: g.env.Self(),
+		View: g.digest(),
+	})
+}
+
+func (g *Protocol) pickPeer() topology.NodeID {
+	self := int(g.env.Self())
+	p := g.rnd.Intn(g.cfg.N - 1)
+	if p >= self {
+		p++
+	}
+	return topology.NodeID(p)
+}
+
+// digest returns the entries to ship: own current availability plus the
+// freshest known entries, capped at Fanout.
+func (g *Protocol) digest() []protocol.Candidate {
+	now := g.env.Now()
+	out := []protocol.Candidate{{ID: g.env.Self(), Headroom: g.env.Headroom(), At: now}}
+	for _, c := range g.view.Snapshot(now) {
+		if c.ID == g.env.Self() {
+			continue
+		}
+		out = append(out, c)
+		if g.cfg.Fanout > 0 && len(out) >= g.cfg.Fanout {
+			break
+		}
+	}
+	return out
+}
+
+// merge folds received entries into the view, keeping the newer record
+// per node and dropping our own.
+func (g *Protocol) merge(entries []protocol.Candidate) {
+	now := g.env.Now()
+	for _, c := range entries {
+		if c.ID == g.env.Self() || c.At > now {
+			continue
+		}
+		if cur, ok := g.viewEntry(c.ID); ok && cur.At >= c.At {
+			continue
+		}
+		g.view.UpdateAt(c.At, c.ID, c.Headroom)
+	}
+}
+
+func (g *Protocol) viewEntry(id topology.NodeID) (protocol.Candidate, bool) {
+	for _, c := range g.view.Snapshot(g.env.Now()) {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return protocol.Candidate{}, false
+}
+
+// OnArrival is a no-op: gossip is purely periodic.
+func (g *Protocol) OnArrival(float64) {}
+
+// OnUsageCrossing is a no-op: state rides the next exchange.
+func (g *Protocol) OnUsageCrossing(bool) {}
+
+// Deliver merges incoming views; a push triggers the pull half.
+func (g *Protocol) Deliver(m protocol.Message) {
+	if g.dead || m.Kind != protocol.Gossip {
+		return
+	}
+	g.merge(m.View)
+	if !m.Reply {
+		g.env.Unicast(m.From, protocol.Message{
+			Kind:  protocol.Gossip,
+			From:  g.env.Self(),
+			Reply: true,
+			View:  g.digest(),
+		})
+	}
+}
+
+// Candidates returns fresh, fitting view entries, best first.
+func (g *Protocol) Candidates(size float64) []protocol.Candidate {
+	if g.dead {
+		return nil
+	}
+	snap := g.view.Snapshot(g.env.Now())
+	out := snap[:0]
+	for _, c := range snap {
+		if c.ID != g.env.Self() && c.Headroom >= size {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// OnMigrationOutcome keeps the view honest like the other protocols.
+func (g *Protocol) OnMigrationOutcome(target topology.NodeID, size float64, success bool) {
+	if success {
+		g.view.Debit(target, size)
+	} else {
+		g.view.Remove(target)
+	}
+}
+
+// OnNodeDeath drops all soft state and stops the rounds.
+func (g *Protocol) OnNodeDeath() {
+	g.dead = true
+	if g.tick != nil {
+		g.tick.Stop()
+	}
+	g.view = protocol.NewPledgeList(g.cfg.Protocol.EntryTTL)
+}
+
+// Exchanges returns how many rounds this node initiated.
+func (g *Protocol) Exchanges() uint64 { return g.exchanges }

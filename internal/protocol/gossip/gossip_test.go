@@ -1,0 +1,216 @@
+package gossip
+
+import (
+	"testing"
+
+	"realtor/internal/core"
+	"realtor/internal/engine"
+	"realtor/internal/metrics"
+	"realtor/internal/protocol"
+	"realtor/internal/protocol/protocoltest"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+func cfg() Config {
+	return Config{Protocol: protocol.DefaultConfig(), N: 25, Seed: 1}
+}
+
+func TestValidate(t *testing.T) {
+	bad := cfg()
+	bad.N = 1
+	if bad.Validate() == nil {
+		t.Fatal("N=1 accepted")
+	}
+	bad = cfg()
+	bad.Fanout = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative fanout accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("New accepted invalid config")
+			}
+		}()
+		New(bad)
+	}()
+}
+
+func TestName(t *testing.T) {
+	if got := New(cfg()).Name(); got != "Gossip-1" {
+		t.Fatalf("name %q", got)
+	}
+}
+
+func TestPeriodicRoundsPickValidPeers(t *testing.T) {
+	env := protocoltest.New(7, 100)
+	g := New(cfg())
+	g.Attach(env)
+	env.Advance(10.5)
+	rounds := env.Unicasts(protocol.Gossip)
+	if len(rounds) != 10 {
+		t.Fatalf("rounds in 10.5s = %d, want 10", len(rounds))
+	}
+	for _, r := range rounds {
+		if r.To == 7 || r.To < 0 || int(r.To) >= 25 {
+			t.Fatalf("invalid peer %d", r.To)
+		}
+		if r.Msg.Reply {
+			t.Fatal("push half marked as reply")
+		}
+		if len(r.Msg.View) == 0 || r.Msg.View[0].ID != 7 {
+			t.Fatalf("digest missing own entry: %+v", r.Msg.View)
+		}
+	}
+	if g.Exchanges() != 10 {
+		t.Fatalf("exchanges %d", g.Exchanges())
+	}
+}
+
+func TestPushTriggersPullOnceNotForever(t *testing.T) {
+	env := protocoltest.New(3, 100)
+	g := New(cfg())
+	g.Attach(env)
+	env.Backlog = 40
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 9,
+		View: []protocol.Candidate{{ID: 9, Headroom: 80, At: 0}}})
+	replies := 0
+	for _, s := range env.Unicasts(protocol.Gossip) {
+		if s.Msg.Reply {
+			replies++
+			if s.To != 9 {
+				t.Fatalf("reply to %d, want 9", s.To)
+			}
+			if len(s.Msg.View) == 0 || s.Msg.View[0].Headroom != 60 {
+				t.Fatalf("reply digest %+v", s.Msg.View)
+			}
+		}
+	}
+	if replies != 1 {
+		t.Fatalf("replies %d, want 1", replies)
+	}
+	// The reply itself must not trigger another reply.
+	env.Reset()
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 9, Reply: true,
+		View: []protocol.Candidate{{ID: 9, Headroom: 70, At: 1}}})
+	if len(env.Unicasts(protocol.Gossip)) != 0 {
+		t.Fatal("reply answered a reply: gossip storm")
+	}
+}
+
+func TestMergeKeepsNewerAndDropsSelfAndFuture(t *testing.T) {
+	env := protocoltest.New(3, 100)
+	g := New(cfg())
+	g.Attach(env)
+	env.Advance(10)
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 9, Reply: true,
+		View: []protocol.Candidate{
+			{ID: 5, Headroom: 50, At: 4},
+			{ID: 3, Headroom: 99, At: 9},  // our own id: ignored
+			{ID: 6, Headroom: 10, At: 99}, // future-stamped: ignored
+		}})
+	cands := g.Candidates(1)
+	if len(cands) != 1 || cands[0].ID != 5 {
+		t.Fatalf("candidates %+v", cands)
+	}
+	// Older duplicate must not clobber the newer record.
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 9, Reply: true,
+		View: []protocol.Candidate{{ID: 5, Headroom: 1, At: 2}}})
+	cands = g.Candidates(1)
+	if cands[0].Headroom != 50 {
+		t.Fatalf("older entry clobbered newer: %+v", cands)
+	}
+	// Newer one does.
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 9, Reply: true,
+		View: []protocol.Candidate{{ID: 5, Headroom: 20, At: 8}}})
+	if got := g.Candidates(1); got[0].Headroom != 20 {
+		t.Fatalf("newer entry ignored: %+v", got)
+	}
+}
+
+func TestFanoutCapsDigest(t *testing.T) {
+	c := cfg()
+	c.Fanout = 3
+	env := protocoltest.New(0, 100)
+	g := New(c)
+	g.Attach(env)
+	var view []protocol.Candidate
+	for i := 1; i <= 10; i++ {
+		view = append(view, protocol.Candidate{ID: topology.NodeID(i), Headroom: float64(i), At: 0})
+	}
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 1, Reply: true, View: view})
+	env.Reset()
+	env.Advance(1.1) // one round
+	rounds := env.Unicasts(protocol.Gossip)
+	if len(rounds) != 1 {
+		t.Fatalf("rounds %d", len(rounds))
+	}
+	if got := len(rounds[0].Msg.View); got != 3 {
+		t.Fatalf("digest size %d, want fanout 3", got)
+	}
+}
+
+func TestDeathSilences(t *testing.T) {
+	env := protocoltest.New(0, 100)
+	g := New(cfg())
+	g.Attach(env)
+	g.OnNodeDeath()
+	env.Reset()
+	env.Advance(5)
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 1,
+		View: []protocol.Candidate{{ID: 1, Headroom: 9, At: 0}}})
+	if len(env.Outbox) != 0 {
+		t.Fatal("dead gossip node still talks")
+	}
+	if len(g.Candidates(1)) != 0 {
+		t.Fatal("dead gossip node kept candidates")
+	}
+}
+
+func TestMigrationOutcomeBookkeeping(t *testing.T) {
+	env := protocoltest.New(0, 100)
+	g := New(cfg())
+	g.Attach(env)
+	g.Deliver(protocol.Message{Kind: protocol.Gossip, From: 1, Reply: true,
+		View: []protocol.Candidate{{ID: 4, Headroom: 60, At: 0}}})
+	g.OnMigrationOutcome(4, 10, true)
+	if c := g.Candidates(1); c[0].Headroom != 50 {
+		t.Fatalf("debit failed: %+v", c)
+	}
+	g.OnMigrationOutcome(4, 1, false)
+	if len(g.Candidates(1)) != 0 {
+		t.Fatal("eviction failed")
+	}
+}
+
+// End to end on the engine: gossip must be a functional discovery
+// protocol with admission comparable to REALTOR at moderate load.
+func TestGossipEndToEnd(t *testing.T) {
+	run := func(build engine.Builder) metrics.RunStats {
+		ecfg := engine.Config{
+			Graph:         topology.Mesh(5, 5),
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        50,
+			Duration:      500,
+			Seed:          1,
+		}
+		e := engine.New(ecfg, build)
+		return e.Run(workload.NewPoisson(7, 5, 25, rng.New(1)))
+	}
+	gs := run(func() protocol.Discovery { return New(cfg()) })
+	rs := run(func() protocol.Discovery { return core.New(protocol.DefaultConfig()) })
+	if err := gs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gs.Migrated == 0 {
+		t.Fatal("gossip produced no migrations at λ=7")
+	}
+	if gs.AdmissionProbability() < rs.AdmissionProbability()-0.05 {
+		t.Fatalf("gossip admission %.4f far below REALTOR %.4f",
+			gs.AdmissionProbability(), rs.AdmissionProbability())
+	}
+}

@@ -1,0 +1,339 @@
+// Package protocol defines the resource-discovery framework shared by
+// REALTOR and the four baseline protocols of the paper: the HELP/PLEDGE
+// message vocabulary, soft-state pledge lists, the cost model of Section 5
+// (flood = number of links, unicast = mean shortest-path length), and the
+// Discovery interface through which the simulation engine drives a
+// protocol instance on each node.
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// Kind enumerates the protocol message types.
+type Kind int
+
+// Message kinds. HELP and PLEDGE are the community protocol of Section 4;
+// ADVERT is the unsolicited availability broadcast used by the push
+// baselines; RELAY is the inter-group HELP escalation of the federation
+// extension (the paper's Section 7 future work); GOSSIP is the push-pull
+// anti-entropy exchange of the modern comparator in protocol/gossip.
+const (
+	Help Kind = iota
+	Pledge
+	Advert
+	Relay
+	Gossip
+)
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Help:
+		return "HELP"
+	case Pledge:
+		return "PLEDGE"
+	case Advert:
+		return "ADVERT"
+	case Relay:
+		return "RELAY"
+	case Gossip:
+		return "GOSSIP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is a discovery protocol datagram. Field use per kind follows
+// the formats in Section 4:
+//
+//	HELP:   From (community organizer), Members, Demand (urgency).
+//	PLEDGE: From (pledger), Headroom (resource availability "degree"),
+//	        Communities (memberships held), Grant (probability of granting
+//	        the resource when asked).
+//	ADVERT: From, Headroom.
+type Message struct {
+	Kind        Kind
+	From        topology.NodeID
+	Headroom    float64     // seconds of queue space the sender can offer
+	Members     int         // HELP: current community size
+	Demand      float64     // HELP: degree of demand (seconds wanted)
+	Communities int         // PLEDGE: communities the pledger belongs to
+	Grant       float64     // PLEDGE: probability of granting when asked
+	Reply       bool        // GOSSIP: this exchange answers a previous one
+	View        []Candidate // GOSSIP: batched availability entries
+}
+
+// Candidate is one entry of a node's availability list: a host believed
+// able to receive a migrating task.
+type Candidate struct {
+	ID       topology.NodeID
+	Headroom float64  // advertised spare capacity in seconds
+	At       sim.Time // when the information was produced
+}
+
+// PledgeList is the soft-state availability table an organizer maintains
+// from PLEDGE/ADVERT messages. Entries expire TTL seconds after their
+// timestamp — "the membership of a node in a community is valid only for
+// the interval between two consecutive refresh messages".
+type PledgeList struct {
+	ttl     sim.Time
+	entries map[topology.NodeID]Candidate
+}
+
+// NewPledgeList returns an empty list whose entries live for ttl seconds.
+func NewPledgeList(ttl sim.Time) *PledgeList {
+	if ttl <= 0 {
+		panic("protocol: pledge list TTL must be positive")
+	}
+	return &PledgeList{ttl: ttl, entries: make(map[topology.NodeID]Candidate)}
+}
+
+// Update records availability info from a node. A non-positive headroom
+// is a retraction ("I am busy") and removes the entry — Algorithm P
+// pledges on both directions of a threshold crossing precisely so that
+// organizers can drop saturated members quickly.
+func (l *PledgeList) Update(now sim.Time, from topology.NodeID, headroom float64) {
+	if headroom <= 0 {
+		delete(l.entries, from)
+		return
+	}
+	l.entries[from] = Candidate{ID: from, Headroom: headroom, At: now}
+}
+
+// UpdateAt is Update with an explicit information timestamp — gossip
+// merges must preserve the origin time of relayed entries, or stale
+// third-hand data would masquerade as fresh.
+func (l *PledgeList) UpdateAt(at sim.Time, from topology.NodeID, headroom float64) {
+	if headroom <= 0 {
+		delete(l.entries, from)
+		return
+	}
+	l.entries[from] = Candidate{ID: from, Headroom: headroom, At: at}
+}
+
+// Remove deletes an entry outright (e.g. after a failed migration try).
+func (l *PledgeList) Remove(id topology.NodeID) { delete(l.entries, id) }
+
+// Debit reduces an entry's recorded headroom by size (after sending a
+// task there) so repeated migrations don't herd onto one host. The entry
+// is dropped when it no longer advertises positive headroom.
+func (l *PledgeList) Debit(id topology.NodeID, size float64) {
+	c, ok := l.entries[id]
+	if !ok {
+		return
+	}
+	c.Headroom -= size
+	if c.Headroom <= 0 {
+		delete(l.entries, id)
+		return
+	}
+	l.entries[id] = c
+}
+
+// expire drops entries older than the TTL.
+func (l *PledgeList) expire(now sim.Time) {
+	for id, c := range l.entries {
+		if now-c.At > l.ttl {
+			delete(l.entries, id)
+		}
+	}
+}
+
+// Len returns the number of live entries at time now.
+func (l *PledgeList) Len(now sim.Time) int {
+	l.expire(now)
+	return len(l.entries)
+}
+
+// Best returns the live candidate with the most advertised headroom that
+// could fit a task of the given size, breaking ties by freshness then by
+// lowest ID (for determinism). ok is false if no candidate fits.
+func (l *PledgeList) Best(now sim.Time, size float64) (Candidate, bool) {
+	l.expire(now)
+	var best Candidate
+	found := false
+	for _, c := range l.entries {
+		if c.Headroom < size {
+			continue
+		}
+		if !found || better(c, best) {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+func better(a, b Candidate) bool {
+	if a.Headroom != b.Headroom {
+		return a.Headroom > b.Headroom
+	}
+	if a.At != b.At {
+		return a.At > b.At
+	}
+	return a.ID < b.ID
+}
+
+// Snapshot returns the live candidates sorted best-first. The engine uses
+// it when the protocol must hand over "a list of hosts" (Section 3).
+func (l *PledgeList) Snapshot(now sim.Time) []Candidate {
+	l.expire(now)
+	out := make([]Candidate, 0, len(l.entries))
+	for _, c := range l.entries {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// CostModel converts protocol actions into the paper's message units:
+// "the number of messages for resource information advertisement to the
+// network is counted as the number of links ... while PLEDGE takes the
+// average number of shortest paths, which is 4 in this particular
+// topology".
+type CostModel struct {
+	FloodUnits   float64 // one HELP or ADVERT flood
+	UnicastUnits float64 // one PLEDGE (or other unicast)
+	ControlUnits float64 // one admission-control negotiation (2 unicasts)
+}
+
+// NewCostModel derives the unit costs from a topology.
+func NewCostModel(g *topology.Graph) CostModel {
+	u := math.Ceil(g.MeanPathLength())
+	if u < 1 {
+		u = 1
+	}
+	return CostModel{
+		FloodUnits:   float64(g.Links()),
+		UnicastUnits: u,
+		ControlUnits: 2 * u,
+	}
+}
+
+// Timer is a cancellable scheduled callback handed out by Env.After.
+type Timer interface {
+	Stop()
+}
+
+// Env is the node-local execution environment the engine provides to a
+// Discovery instance: identity, clock, local resource state, messaging,
+// and timers. Message sends are charged to the run's cost accounting by
+// the engine, not by protocols.
+type Env interface {
+	// Self returns this node's ID.
+	Self() topology.NodeID
+	// Now returns the current simulated time.
+	Now() sim.Time
+	// Usage returns local queue occupancy in [0, 1].
+	Usage() float64
+	// Headroom returns local spare queue capacity in seconds.
+	Headroom() float64
+	// Capacity returns the local queue capacity in seconds.
+	Capacity() float64
+	// Flood delivers m to every other alive node, with per-hop latency.
+	Flood(m Message)
+	// Unicast delivers m to a single node, with per-hop latency.
+	Unicast(to topology.NodeID, m Message)
+	// After schedules fn to run d seconds from now on this node. The
+	// callback is suppressed if the node dies first.
+	After(d sim.Time, fn func()) Timer
+}
+
+// Discovery is a resource-discovery protocol instance running on one
+// node. The engine calls these hooks; implementations must be
+// single-threaded (the simulator is sequential) and must not retain the
+// Env beyond the run.
+type Discovery interface {
+	// Name identifies the protocol in tables ("REALTOR-100", "Push-1", ...).
+	Name() string
+	// Attach binds the instance to its node environment before the run.
+	Attach(env Env)
+	// OnArrival is called for every task arriving locally, before the
+	// admission decision, with the task's size in seconds. Pull-family
+	// protocols use it to trigger HELP per Algorithm H.
+	OnArrival(size float64)
+	// OnUsageCrossing is called when local usage crosses the protocol's
+	// threshold: rising=true when it goes above, false when it drains
+	// below. Push-family protocols and REALTOR members advertise here.
+	OnUsageCrossing(rising bool)
+	// Deliver hands the instance an incoming message.
+	Deliver(m Message)
+	// Candidates returns destinations believed able to take a task of
+	// the given size, best first. The engine tries at most the first.
+	Candidates(size float64) []Candidate
+	// OnMigrationOutcome reports the result of the single migration try
+	// that followed Candidates: the destination tried, the task size, and
+	// whether the destination admitted it. Implementations use it to
+	// debit or drop the candidate's entry.
+	OnMigrationOutcome(target topology.NodeID, size float64, success bool)
+	// OnNodeDeath is called when the local node is killed, so the
+	// instance can drop timers and soft state. Revived nodes get a fresh
+	// Attach.
+	OnNodeDeath()
+}
+
+// Config carries the tunables shared across protocol implementations,
+// with the defaults of the paper's Section 5 experiments.
+type Config struct {
+	Threshold     float64  // usage threshold for Algorithms H and P (0.9)
+	PushInterval  sim.Time // pure-push advertisement period (1 s)
+	HelpInit      sim.Time // initial HELP_interval (1 s)
+	HelpUpper     sim.Time // Upper_limit for HELP_interval (100 s)
+	HelpMin       sim.Time // numeric floor for HELP_interval
+	Alpha         float64  // HELP_interval penalty factor (0.5)
+	Beta          float64  // HELP_interval reward factor (0.5)
+	PledgeWait    sim.Time // Algorithm H response timer (1 s)
+	EntryTTL      sim.Time // pledge-list soft-state lifetime (100 s)
+	MembershipTTL sim.Time // community membership lifetime (100 s)
+
+	// MaxMemberships caps how many communities a host joins — "each host
+	// is free to join as many communities as it is able to without
+	// over-allocating its spare resources" (Section 4); the cap is what
+	// keeps every node interacting with only a small subset of others.
+	// 0 means unlimited.
+	MaxMemberships int
+}
+
+// DefaultConfig returns the parameter set used throughout the paper's
+// evaluation (Section 5 figure captions) with our pinned choices for the
+// constants it leaves open (DESIGN.md Section 4).
+func DefaultConfig() Config {
+	return Config{
+		Threshold:      0.9,
+		PushInterval:   1,
+		HelpInit:       1,
+		HelpUpper:      100,
+		HelpMin:        0.01,
+		Alpha:          0.5,
+		Beta:           0.5,
+		PledgeWait:     1,
+		EntryTTL:       100,
+		MembershipTTL:  100,
+		MaxMemberships: 12,
+	}
+}
+
+// Validate reports the first out-of-range parameter, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Threshold <= 0 || c.Threshold > 1:
+		return fmt.Errorf("protocol: threshold %v outside (0,1]", c.Threshold)
+	case c.PushInterval <= 0:
+		return fmt.Errorf("protocol: push interval %v must be positive", c.PushInterval)
+	case c.HelpInit <= 0 || c.HelpUpper < c.HelpInit || c.HelpMin <= 0 || c.HelpMin > c.HelpInit:
+		return fmt.Errorf("protocol: HELP interval bounds (init=%v upper=%v min=%v) inconsistent",
+			c.HelpInit, c.HelpUpper, c.HelpMin)
+	case c.Alpha < 0 || c.Beta < 0 || c.Beta >= 1:
+		return fmt.Errorf("protocol: alpha=%v beta=%v out of range", c.Alpha, c.Beta)
+	case c.PledgeWait <= 0 || c.EntryTTL <= 0 || c.MembershipTTL <= 0:
+		return fmt.Errorf("protocol: timers must be positive")
+	case c.MaxMemberships < 0:
+		return fmt.Errorf("protocol: negative membership cap")
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Derive("arrivals")
+	c2 := parent.Derive("sizes")
+	// Identical construction again must reproduce both children exactly.
+	parent2 := New(99)
+	d1 := parent2.Derive("arrivals")
+	d2 := parent2.Derive("sizes")
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != d1.Float64() || c2.Float64() != d2.Float64() {
+			t.Fatal("derived streams not reproducible")
+		}
+	}
+}
+
+func TestDeriveDistinctNames(t *testing.T) {
+	p := New(5)
+	a := p.Derive("a")
+	b := p.Derive("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(123)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exp mean %.3f, want ≈5", mean)
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		if v := s.Exp(1); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("invalid exp draw %v", v)
+		}
+	}
+}
+
+func TestExpInvalidMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(321)
+	for _, mean := range []float64{0.5, 3, 10, 50} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("poisson(%v) mean %.3f", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	s := New(1)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Fatal("poisson of non-positive mean should be 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(2, 9)
+		if v < 2 || v >= 9 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uniform(3, 1)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(10)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %.4f", p)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10000; i++ {
+		v := s.Pareto(1.5, 2)
+		if v < 2 {
+			t.Fatalf("pareto below min: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Intn always lands in [0, n).
+func TestQuickIntnRange(t *testing.T) {
+	s := New(77)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Exp draws scale linearly with the mean in expectation, i.e.
+// sample means of Exp(m) stay within a loose band of m.
+func TestQuickExpScaling(t *testing.T) {
+	s := New(31)
+	f := func(raw uint8) bool {
+		mean := float64(raw%50) + 1
+		sum := 0.0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			sum += s.Exp(mean)
+		}
+		got := sum / n
+		return got > 0.8*mean && got < 1.2*mean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Exp(5)
+	}
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Poisson(8)
+	}
+}

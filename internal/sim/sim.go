@@ -1,0 +1,206 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is a priority queue of timestamped events plus a virtual
+// clock. Events scheduled at the same instant fire in the order they were
+// scheduled (FIFO tie-breaking), which keeps runs fully reproducible for a
+// fixed seed. All protocol simulations in this repository run on top of
+// this kernel; nothing in it is specific to REALTOR.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time float64
+
+// Handler is a callback fired when an event's time is reached.
+type Handler func(now Time)
+
+// Event is a scheduled callback. It is returned by Scheduler.At and
+// Scheduler.After so callers can cancel it before it fires.
+type Event struct {
+	when    Time
+	seq     uint64 // FIFO tie-break for equal timestamps
+	fn      Handler
+	index   int // heap index, -1 once removed
+	stopped bool
+}
+
+// When reports the simulated time at which the event fires.
+func (e *Event) When() Time { return e.when }
+
+// Stopped reports whether the event was cancelled or already fired.
+func (e *Event) Stopped() bool { return e.stopped || e.index < 0 }
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is the simulation executive. The zero value is not ready to
+// use; create one with New.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns an empty scheduler with the clock at zero.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far, useful as a cheap
+// progress/effort metric in benchmarks.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it is always a programming error and silently reordering events
+// would destroy reproducibility.
+func (s *Scheduler) At(t Time, fn Handler) *Event {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(float64(t)) {
+		panic("sim: scheduling at NaN")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (s *Scheduler) After(d Time, fn Handler) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op, so callers may cancel unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	e.stopped = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Step fires the single earliest event. It reports false when the queue is
+// empty or the scheduler was halted.
+func (s *Scheduler) Step() bool {
+	if s.halted || s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.when
+	e.stopped = true
+	s.fired++
+	e.fn(s.now)
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ end and then advances the
+// clock to exactly end. Events scheduled after end remain pending.
+func (s *Scheduler) RunUntil(end Time) {
+	for !s.halted && s.queue.Len() > 0 && s.queue[0].when <= end {
+		s.Step()
+	}
+	if !s.halted && s.now < end {
+		s.now = end
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns. Pending events
+// stay queued so a test can inspect them.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Halted reports whether Halt was called.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// Ticker repeatedly invokes a handler at a fixed period until stopped.
+// It is the building block for periodic push advertisement.
+type Ticker struct {
+	s      *Scheduler
+	period Time
+	fn     Handler
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period seconds, first firing one period
+// from now. A non-positive period panics.
+func (s *Scheduler) NewTicker(period Time, fn Handler) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.period, func(now Time) {
+		if t.stop {
+			return
+		}
+		t.fn(now)
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.s.Cancel(t.ev)
+}

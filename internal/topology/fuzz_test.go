@@ -1,0 +1,68 @@
+package topology
+
+import "testing"
+
+// FuzzMeshMetrics builds meshes of fuzzed dimensions and checks the
+// structural identities that the cost model depends on.
+func FuzzMeshMetrics(f *testing.F) {
+	f.Add(uint8(5), uint8(5))
+	f.Add(uint8(1), uint8(9))
+	f.Add(uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, rw, cw uint8) {
+		rows := int(rw%8) + 1
+		cols := int(cw%8) + 1
+		g := Mesh(rows, cols)
+		if g.N() != rows*cols {
+			t.Fatalf("n=%d", g.N())
+		}
+		if g.Links() != 2*rows*cols-rows-cols {
+			t.Fatalf("links=%d for %dx%d", g.Links(), rows, cols)
+		}
+		if !g.Connected() {
+			t.Fatal("mesh disconnected")
+		}
+		if d := g.Diameter(); d != rows+cols-2 {
+			t.Fatalf("diameter %d, want %d", d, rows+cols-2)
+		}
+		// Degree sum equals twice the link count (handshake lemma).
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		if sum != 2*g.Links() {
+			t.Fatalf("degree sum %d vs links %d", sum, g.Links())
+		}
+	})
+}
+
+// FuzzRemoveNodeLinks detaches fuzz-chosen nodes and checks adjacency
+// stays symmetric and the link count consistent.
+func FuzzRemoveNodeLinks(f *testing.F) {
+	f.Add([]byte{0, 12, 24})
+	f.Add([]byte{5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, kills []byte) {
+		g := Mesh(5, 5)
+		for _, k := range kills {
+			g.RemoveNodeLinks(NodeID(int(k) % g.N()))
+			total := 0
+			for i := 0; i < g.N(); i++ {
+				for _, nb := range g.Neighbors(NodeID(i)) {
+					total++
+					found := false
+					for _, back := range g.Neighbors(nb) {
+						if back == NodeID(i) {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("asymmetric adjacency after removals")
+					}
+				}
+			}
+			if total != 2*g.Links() {
+				t.Fatalf("directed edge count %d vs links %d", total, g.Links())
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package topology models the application-level overlay network on which
+// resource discovery runs.
+//
+// The paper's simulation uses the 5×5 mesh of Figure 4 (25 nodes, 40
+// links) and charges a HELP/advertisement flood the number of links and a
+// unicast PLEDGE the mean shortest-path length (4 on that mesh). This
+// package provides the graph representation, the mesh builder plus several
+// alternative builders used by the scalability and robustness extensions,
+// and the path metrics that feed the cost model.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"realtor/internal/rng"
+)
+
+// NodeID identifies a node in a topology. IDs are dense: 0..N-1.
+type NodeID int
+
+// Graph is an undirected overlay graph. Construct one with a builder
+// (Mesh, Torus, ...) or NewGraph + AddLink; mutating after calling path
+// queries is allowed — caches invalidate automatically.
+type Graph struct {
+	n     int
+	adj   [][]NodeID
+	links int
+
+	// lazily computed all-pairs BFS distances; nil until first use
+	dist [][]int
+}
+
+// NewGraph returns a graph with n isolated nodes.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("topology: graph must have at least one node")
+	}
+	return &Graph{n: n, adj: make([][]NodeID, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Links returns the number of undirected links.
+func (g *Graph) Links() int { return g.links }
+
+// Neighbors returns the adjacency list of id. Callers must not mutate it.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	return g.adj[id]
+}
+
+// HasLink reports whether an undirected link {a, b} exists.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	for _, v := range g.adj[a] {
+		if v == b {
+			return true
+		}
+	}
+	return false
+}
+
+// AddLink inserts the undirected link {a, b}. Self-links and duplicates
+// panic: every builder in this repository is expected to produce simple
+// graphs, and silently ignoring duplicates would corrupt Links-based cost
+// accounting.
+func (g *Graph) AddLink(a, b NodeID) {
+	if a == b {
+		panic(fmt.Sprintf("topology: self-link at node %d", a))
+	}
+	if a < 0 || b < 0 || int(a) >= g.n || int(b) >= g.n {
+		panic(fmt.Sprintf("topology: link {%d,%d} out of range [0,%d)", a, b, g.n))
+	}
+	if g.HasLink(a, b) {
+		panic(fmt.Sprintf("topology: duplicate link {%d,%d}", a, b))
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.links++
+	g.dist = nil
+}
+
+// RemoveNodeLinks detaches a node from all its neighbors (used by attack
+// injection: a dead node keeps its ID but loses connectivity).
+func (g *Graph) RemoveNodeLinks(id NodeID) {
+	for _, nb := range g.adj[id] {
+		g.adj[nb] = remove(g.adj[nb], id)
+		g.links--
+	}
+	g.adj[id] = nil
+	g.dist = nil
+}
+
+func remove(s []NodeID, v NodeID) []NodeID {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// bfs fills one row of the distance matrix. Unreachable nodes get -1.
+func (g *Graph) bfs(src NodeID, row []int) {
+	for i := range row {
+		row[i] = -1
+	}
+	row[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if row[v] == -1 {
+				row[v] = row[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+func (g *Graph) ensureDist() {
+	if g.dist != nil {
+		return
+	}
+	g.dist = make([][]int, g.n)
+	backing := make([]int, g.n*g.n)
+	for i := 0; i < g.n; i++ {
+		g.dist[i] = backing[i*g.n : (i+1)*g.n]
+		g.bfs(NodeID(i), g.dist[i])
+	}
+}
+
+// Dist returns the hop distance between a and b, or -1 if unreachable.
+func (g *Graph) Dist(a, b NodeID) int {
+	g.ensureDist()
+	return g.dist[a][b]
+}
+
+// Connected reports whether every node can reach every other node.
+func (g *Graph) Connected() bool {
+	g.ensureDist()
+	for _, d := range g.dist[0] {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the longest shortest path, or -1 if disconnected.
+func (g *Graph) Diameter() int {
+	g.ensureDist()
+	max := 0
+	for i := range g.dist {
+		for _, d := range g.dist[i] {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MeanPathLength returns the average hop distance over all ordered pairs
+// of distinct reachable nodes. On the paper's 5×5 mesh this is ≈3.33; the
+// paper rounds the PLEDGE cost to 4, which callers may do themselves (see
+// protocol.CostModel).
+func (g *Graph) MeanPathLength() float64 {
+	g.ensureDist()
+	sum, cnt := 0, 0
+	for i := range g.dist {
+		for j, d := range g.dist[i] {
+			if i != j && d > 0 {
+				sum += d
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// Eccentricity returns the maximum distance from id to any reachable node.
+func (g *Graph) Eccentricity(id NodeID) int {
+	g.ensureDist()
+	max := 0
+	for _, d := range g.dist[id] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Degrees returns the sorted degree sequence, useful in tests.
+func (g *Graph) Degrees() []int {
+	out := make([]int, g.n)
+	for i, a := range g.adj {
+		out[i] = len(a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Mesh builds the paper's rows×cols grid (Figure 4 is Mesh(5, 5): 25
+// nodes, 40 links). Node (r, c) has ID r*cols + c.
+func Mesh(rows, cols int) *Graph {
+	if rows <= 0 || cols <= 0 {
+		panic("topology: mesh dimensions must be positive")
+	}
+	g := NewGraph(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddLink(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddLink(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus builds a rows×cols grid with wraparound links.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("topology: torus dimensions must be at least 3")
+	}
+	g := NewGraph(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddLink(id(r, c), id(r, (c+1)%cols))
+			g.AddLink(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Ring builds an n-cycle.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("topology: ring needs at least 3 nodes")
+	}
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddLink(NodeID(i), NodeID((i+1)%n))
+	}
+	return g
+}
+
+// Star builds a hub-and-spoke graph: node 0 links to every other node.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("topology: star needs at least 2 nodes")
+	}
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddLink(0, NodeID(i))
+	}
+	return g
+}
+
+// Complete builds the complete graph on n nodes.
+func Complete(n int) *Graph {
+	if n < 2 {
+		panic("topology: complete graph needs at least 2 nodes")
+	}
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddLink(NodeID(i), NodeID(j))
+		}
+	}
+	return g
+}
+
+// Random builds a connected Erdős–Rényi-style graph: a random spanning
+// tree (guaranteeing connectivity) plus each remaining pair with
+// probability p. Deterministic for a fixed stream.
+func Random(n int, p float64, s *rng.Stream) *Graph {
+	if n < 2 {
+		panic("topology: random graph needs at least 2 nodes")
+	}
+	g := NewGraph(n)
+	perm := s.Perm(n)
+	for i := 1; i < n; i++ {
+		// Attach perm[i] to a uniformly chosen earlier node: random tree.
+		g.AddLink(NodeID(perm[i]), NodeID(perm[s.Intn(i)]))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.HasLink(NodeID(i), NodeID(j)) && s.Bernoulli(p) {
+				g.AddLink(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// Clone returns a deep copy, so attack injection can mutate a run's
+// topology without touching the pristine one shared across replications.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for i, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if NodeID(i) < v {
+				c.AddLink(NodeID(i), v)
+			}
+		}
+	}
+	return c
+}

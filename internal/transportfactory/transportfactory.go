@@ -1,0 +1,27 @@
+// Package transportfactory maps transport names ("chan", "udp") to
+// constructors, shared by the cluster CLI, the Figure 9 runner and the
+// examples.
+package transportfactory
+
+import (
+	"fmt"
+
+	"realtor/internal/agile/transport"
+)
+
+// Factory builds a network with n endpoints.
+type Factory func(n int) (transport.Network, error)
+
+// New returns the factory for a transport name.
+func New(name string) (Factory, error) {
+	switch name {
+	case "chan":
+		return func(n int) (transport.Network, error) { return transport.NewChan(n), nil }, nil
+	case "udp":
+		return func(n int) (transport.Network, error) { return transport.NewUDP(n) }, nil
+	case "tcp":
+		return func(n int) (transport.Network, error) { return transport.NewTCP(n) }, nil
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want chan, udp or tcp)", name)
+	}
+}

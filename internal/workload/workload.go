@@ -1,0 +1,278 @@
+// Package workload generates the task streams driving the simulation.
+//
+// The paper's evaluation uses a single Poisson arrival process of rate λ
+// whose tasks have exponentially distributed lengths (mean 5 s) and are
+// assigned to a uniformly random node. Extensions add a bursty MMPP
+// source, a heavy-tailed source, and hot-spot node selection, all behind
+// the same Source interface.
+package workload
+
+import (
+	"fmt"
+
+	"realtor/internal/resource"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// Task is one unit of work: Size seconds of CPU demand arriving at Node,
+// optionally constrained to hosts satisfying Require (bandwidth, memory,
+// security level — the paper's "more general resource scenarios").
+type Task struct {
+	ID      uint64
+	Node    topology.NodeID
+	Size    float64
+	Arrive  sim.Time
+	Require resource.Attrs
+}
+
+// Source produces the next task strictly after the previous one. Next
+// returns ok=false when the source is exhausted (finite traces).
+type Source interface {
+	Next() (Task, bool)
+}
+
+// Poisson is the paper's workload: exponential inter-arrival times with
+// rate Lambda (system-wide), exponential sizes with mean MeanSize, and a
+// node chosen by Select.
+type Poisson struct {
+	Lambda   float64
+	MeanSize float64
+	N        int // number of nodes
+
+	// Select optionally overrides uniform node choice (e.g. hot spots).
+	// It receives the task index and must return a valid node.
+	Select func(i uint64) topology.NodeID
+
+	arrivals *rng.Stream
+	sizes    *rng.Stream
+	nodes    *rng.Stream
+	now      sim.Time
+	next     uint64
+}
+
+// NewPoisson returns the paper's Poisson/exponential source. Separate
+// derived streams drive arrivals, sizes and node choice so that, e.g.,
+// comparing protocols at two λ values sees identical size sequences.
+func NewPoisson(lambda, meanSize float64, n int, seed *rng.Stream) *Poisson {
+	if lambda <= 0 || meanSize <= 0 || n <= 0 {
+		panic(fmt.Sprintf("workload: invalid poisson parameters λ=%v mean=%v n=%d",
+			lambda, meanSize, n))
+	}
+	return &Poisson{
+		Lambda:   lambda,
+		MeanSize: meanSize,
+		N:        n,
+		arrivals: seed.Derive("arrivals"),
+		sizes:    seed.Derive("sizes"),
+		nodes:    seed.Derive("nodes"),
+	}
+}
+
+// Next returns the next task; a Poisson source never exhausts.
+func (p *Poisson) Next() (Task, bool) {
+	p.now += sim.Time(p.arrivals.Exp(1 / p.Lambda))
+	t := Task{
+		ID:     p.next,
+		Size:   p.sizes.Exp(p.MeanSize),
+		Arrive: p.now,
+	}
+	if p.Select != nil {
+		t.Node = p.Select(p.next)
+	} else {
+		t.Node = topology.NodeID(p.nodes.Intn(p.N))
+	}
+	p.next++
+	if t.Node < 0 || int(t.Node) >= p.N {
+		panic(fmt.Sprintf("workload: Select returned node %d outside [0,%d)", t.Node, p.N))
+	}
+	return t, true
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: it alternates
+// between a calm state (rate LambdaLow) and a burst state (LambdaHigh),
+// with exponentially distributed state holding times. It stresses
+// discovery protocols with load that swings across the pledge threshold.
+type MMPP struct {
+	LambdaLow  float64
+	LambdaHigh float64
+	MeanHold   float64 // mean state holding time, seconds
+	MeanSize   float64
+	N          int
+
+	arrivals *rng.Stream
+	sizes    *rng.Stream
+	nodes    *rng.Stream
+	states   *rng.Stream
+
+	now       sim.Time
+	stateEnd  sim.Time
+	inBurst   bool
+	nextID    uint64
+	primedEnd bool
+}
+
+// NewMMPP returns a bursty source. Parameters must be positive.
+func NewMMPP(lambdaLow, lambdaHigh, meanHold, meanSize float64, n int, seed *rng.Stream) *MMPP {
+	if lambdaLow <= 0 || lambdaHigh <= 0 || meanHold <= 0 || meanSize <= 0 || n <= 0 {
+		panic("workload: invalid MMPP parameters")
+	}
+	return &MMPP{
+		LambdaLow:  lambdaLow,
+		LambdaHigh: lambdaHigh,
+		MeanHold:   meanHold,
+		MeanSize:   meanSize,
+		N:          n,
+		arrivals:   seed.Derive("arrivals"),
+		sizes:      seed.Derive("sizes"),
+		nodes:      seed.Derive("nodes"),
+		states:     seed.Derive("states"),
+	}
+}
+
+// Next returns the next task, advancing the modulating chain as needed.
+func (m *MMPP) Next() (Task, bool) {
+	if !m.primedEnd {
+		m.stateEnd = sim.Time(m.states.Exp(m.MeanHold))
+		m.primedEnd = true
+	}
+	for {
+		rate := m.LambdaLow
+		if m.inBurst {
+			rate = m.LambdaHigh
+		}
+		gap := sim.Time(m.arrivals.Exp(1 / rate))
+		if m.now+gap <= m.stateEnd {
+			m.now += gap
+			break
+		}
+		// State flips before the candidate arrival; restart the draw from
+		// the flip instant (memorylessness makes this exact).
+		m.now = m.stateEnd
+		m.inBurst = !m.inBurst
+		m.stateEnd = m.now + sim.Time(m.states.Exp(m.MeanHold))
+	}
+	t := Task{
+		ID:     m.nextID,
+		Node:   topology.NodeID(m.nodes.Intn(m.N)),
+		Size:   m.sizes.Exp(m.MeanSize),
+		Arrive: m.now,
+	}
+	m.nextID++
+	return t, true
+}
+
+// HeavyTail is a Poisson arrival process whose task sizes follow a
+// bounded Pareto distribution — a few huge tasks dominate the offered
+// load, punishing protocols whose candidate freshness is poor.
+type HeavyTail struct {
+	Lambda float64
+	Shape  float64
+	Min    float64
+	N      int
+
+	arrivals *rng.Stream
+	sizes    *rng.Stream
+	nodes    *rng.Stream
+	now      sim.Time
+	nextID   uint64
+}
+
+// NewHeavyTail returns a Pareto-size source.
+func NewHeavyTail(lambda, shape, min float64, n int, seed *rng.Stream) *HeavyTail {
+	if lambda <= 0 || shape <= 0 || min <= 0 || n <= 0 {
+		panic("workload: invalid heavy-tail parameters")
+	}
+	return &HeavyTail{
+		Lambda:   lambda,
+		Shape:    shape,
+		Min:      min,
+		N:        n,
+		arrivals: seed.Derive("arrivals"),
+		sizes:    seed.Derive("sizes"),
+		nodes:    seed.Derive("nodes"),
+	}
+}
+
+// Next returns the next heavy-tailed task.
+func (h *HeavyTail) Next() (Task, bool) {
+	h.now += sim.Time(h.arrivals.Exp(1 / h.Lambda))
+	t := Task{
+		ID:     h.nextID,
+		Node:   topology.NodeID(h.nodes.Intn(h.N)),
+		Size:   h.sizes.Pareto(h.Shape, h.Min),
+		Arrive: h.now,
+	}
+	h.nextID++
+	return t, true
+}
+
+// Trace replays a fixed task list, e.g. for regression tests or recorded
+// workloads. Tasks must be sorted by arrival time.
+type Trace struct {
+	Tasks []Task
+	pos   int
+}
+
+// NewTrace validates ordering and returns a replay source.
+func NewTrace(tasks []Task) *Trace {
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrive < tasks[i-1].Arrive {
+			panic(fmt.Sprintf("workload: trace not sorted at index %d", i))
+		}
+	}
+	return &Trace{Tasks: tasks}
+}
+
+// Next returns the next recorded task until the trace is exhausted.
+func (t *Trace) Next() (Task, bool) {
+	if t.pos >= len(t.Tasks) {
+		return Task{}, false
+	}
+	task := t.Tasks[t.pos]
+	t.pos++
+	return task, true
+}
+
+// HotSpot returns a Select function that sends fraction p of tasks to a
+// single hot node and spreads the rest uniformly. It exercises the
+// migration path far more than uniform assignment does.
+func HotSpot(hot topology.NodeID, p float64, n int, s *rng.Stream) func(uint64) topology.NodeID {
+	pick := s.Derive("hotspot")
+	return func(uint64) topology.NodeID {
+		if pick.Bernoulli(p) {
+			return hot
+		}
+		return topology.NodeID(pick.Intn(n))
+	}
+}
+
+// Map wraps a source with a per-task transformation — stamping
+// requirements, rewriting targets, scaling sizes. The transform must not
+// reorder arrivals (it sees each task exactly once, in order).
+type Map struct {
+	Inner     Source
+	Transform func(Task) Task
+}
+
+// NewMap validates and returns a mapping source.
+func NewMap(inner Source, transform func(Task) Task) *Map {
+	if inner == nil || transform == nil {
+		panic("workload: Map needs a source and a transform")
+	}
+	return &Map{Inner: inner, Transform: transform}
+}
+
+// Next implements Source.
+func (m *Map) Next() (Task, bool) {
+	t, ok := m.Inner.Next()
+	if !ok {
+		return t, false
+	}
+	out := m.Transform(t)
+	if out.Arrive != t.Arrive {
+		panic("workload: Map transform must not change arrival times")
+	}
+	return out, true
+}

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+func drawN(s Source, n int) []Task {
+	out := make([]Task, 0, n)
+	for i := 0; i < n; i++ {
+		t, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func TestPoissonRateAndSizes(t *testing.T) {
+	p := NewPoisson(5, 5, 25, rng.New(1))
+	const n = 100000
+	tasks := drawN(p, n)
+	span := float64(tasks[n-1].Arrive)
+	rate := float64(n) / span
+	if math.Abs(rate-5) > 0.1 {
+		t.Fatalf("empirical rate %.3f, want ≈5", rate)
+	}
+	sum := 0.0
+	for _, task := range tasks {
+		sum += task.Size
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Fatalf("mean size %.3f, want ≈5", mean)
+	}
+}
+
+func TestPoissonMonotoneArrivalsAndIDs(t *testing.T) {
+	p := NewPoisson(3, 5, 10, rng.New(2))
+	tasks := drawN(p, 1000)
+	for i, task := range tasks {
+		if task.ID != uint64(i) {
+			t.Fatalf("task %d has ID %d", i, task.ID)
+		}
+		if i > 0 && task.Arrive <= tasks[i-1].Arrive {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+		if task.Node < 0 || int(task.Node) >= 10 {
+			t.Fatalf("node %d out of range", task.Node)
+		}
+		if task.Size <= 0 {
+			t.Fatalf("non-positive size %v", task.Size)
+		}
+	}
+}
+
+func TestPoissonUniformNodeSpread(t *testing.T) {
+	p := NewPoisson(5, 5, 25, rng.New(3))
+	counts := make([]int, 25)
+	const n = 50000
+	for _, task := range drawN(p, n) {
+		counts[task.Node]++
+	}
+	want := float64(n) / 25
+	for id, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("node %d got %d tasks, want ≈%.0f", id, c, want)
+		}
+	}
+}
+
+func TestPoissonReproducible(t *testing.T) {
+	a := NewPoisson(5, 5, 25, rng.New(7))
+	b := NewPoisson(5, 5, 25, rng.New(7))
+	ta := drawN(a, 500)
+	tb := drawN(b, 500)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("task %d differs for same seed", i)
+		}
+	}
+}
+
+func TestPoissonSizeSequenceIndependentOfLambda(t *testing.T) {
+	// Derived streams mean the size sequence is identical across λ — the
+	// property that makes protocol comparisons at different loads paired.
+	a := NewPoisson(1, 5, 25, rng.New(9))
+	b := NewPoisson(10, 5, 25, rng.New(9))
+	ta := drawN(a, 200)
+	tb := drawN(b, 200)
+	for i := range ta {
+		if ta[i].Size != tb[i].Size {
+			t.Fatalf("size sequence differs at %d: %v vs %v", i, ta[i].Size, tb[i].Size)
+		}
+		if ta[i].Node != tb[i].Node {
+			t.Fatalf("node sequence differs at %d", i)
+		}
+	}
+}
+
+func TestPoissonInvalidParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPoisson(0, 5, 25, rng.New(1)) },
+		func() { NewPoisson(5, 0, 25, rng.New(1)) },
+		func() { NewPoisson(5, 5, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSelectOverride(t *testing.T) {
+	p := NewPoisson(5, 5, 25, rng.New(4))
+	p.Select = func(uint64) topology.NodeID { return 7 }
+	for _, task := range drawN(p, 100) {
+		if task.Node != 7 {
+			t.Fatalf("Select ignored, node %d", task.Node)
+		}
+	}
+}
+
+func TestSelectOutOfRangePanics(t *testing.T) {
+	p := NewPoisson(5, 5, 25, rng.New(4))
+	p.Select = func(uint64) topology.NodeID { return 99 }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Next()
+}
+
+func TestHotSpotBias(t *testing.T) {
+	sel := HotSpot(3, 0.5, 25, rng.New(5))
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if sel(uint64(i)) == 3 {
+			hot++
+		}
+	}
+	// 50% direct hits plus uniform spill-over: expect ≈ 0.5 + 0.5/25 = 0.52.
+	p := float64(hot) / n
+	if math.Abs(p-0.52) > 0.02 {
+		t.Fatalf("hot-spot fraction %.4f, want ≈0.52", p)
+	}
+}
+
+func TestMMPPRateBetweenStates(t *testing.T) {
+	m := NewMMPP(2, 20, 50, 5, 25, rng.New(6))
+	const n = 100000
+	tasks := drawN(m, n)
+	span := float64(tasks[n-1].Arrive)
+	rate := float64(n) / span
+	// Long-run rate is the average of the two state rates (equal holding
+	// times): (2+20)/2 = 11.
+	if rate < 9 || rate > 13 {
+		t.Fatalf("MMPP long-run rate %.2f, want ≈11", rate)
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].Arrive <= tasks[i-1].Arrive {
+			t.Fatalf("MMPP arrivals not increasing at %d", i)
+		}
+	}
+}
+
+func TestMMPPBurstiness(t *testing.T) {
+	// Count arrivals in fixed windows; an MMPP with a 10x rate swing must
+	// show higher variance-to-mean ratio than a plain Poisson of the same
+	// long-run rate.
+	idx := func(s Source, n int, w float64) float64 {
+		var counts []float64
+		cur, end := 0.0, w
+		for i := 0; i < n; i++ {
+			task, _ := s.Next()
+			for float64(task.Arrive) > end {
+				counts = append(counts, cur)
+				cur, end = 0, end+w
+			}
+			cur++
+		}
+		mean, varSum := 0.0, 0.0
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			varSum += (c - mean) * (c - mean)
+		}
+		return varSum / float64(len(counts)) / mean
+	}
+	burst := idx(NewMMPP(2, 20, 50, 5, 25, rng.New(8)), 60000, 10)
+	plain := idx(NewPoisson(11, 5, 25, rng.New(8)), 60000, 10)
+	if burst < 2*plain {
+		t.Fatalf("MMPP dispersion %.2f not clearly above Poisson %.2f", burst, plain)
+	}
+}
+
+func TestHeavyTailSizes(t *testing.T) {
+	h := NewHeavyTail(5, 1.5, 1, 25, rng.New(10))
+	tasks := drawN(h, 20000)
+	max := 0.0
+	for _, task := range tasks {
+		if task.Size < 1 {
+			t.Fatalf("pareto size below min: %v", task.Size)
+		}
+		if task.Size > max {
+			max = task.Size
+		}
+	}
+	if max < 100 {
+		t.Fatalf("heavy tail produced no large tasks (max %v)", max)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	in := []Task{
+		{ID: 0, Node: 1, Size: 2, Arrive: 1},
+		{ID: 1, Node: 2, Size: 3, Arrive: 4},
+	}
+	tr := NewTrace(in)
+	for i := range in {
+		got, ok := tr.Next()
+		if !ok || got != in[i] {
+			t.Fatalf("trace replay mismatch at %d", i)
+		}
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("exhausted trace still returns tasks")
+	}
+}
+
+func TestTraceUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTrace([]Task{{Arrive: 5}, {Arrive: sim.Time(1)}})
+}
+
+func BenchmarkPoissonNext(b *testing.B) {
+	p := NewPoisson(5, 5, 25, rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = p.Next()
+	}
+}
+
+func TestMapTransforms(t *testing.T) {
+	p := NewPoisson(5, 5, 25, rng.New(3))
+	m := NewMap(p, func(task Task) Task {
+		task.Size = 1
+		return task
+	})
+	for i := 0; i < 100; i++ {
+		task, ok := m.Next()
+		if !ok || task.Size != 1 {
+			t.Fatalf("transform not applied: %+v ok=%v", task, ok)
+		}
+	}
+}
+
+func TestMapExhaustion(t *testing.T) {
+	tr := NewTrace([]Task{{ID: 1, Arrive: 1, Size: 2}})
+	m := NewMap(tr, func(task Task) Task { return task })
+	if _, ok := m.Next(); !ok {
+		t.Fatal("first task missing")
+	}
+	if _, ok := m.Next(); ok {
+		t.Fatal("exhausted map still produces")
+	}
+}
+
+func TestMapRejectsArrivalChanges(t *testing.T) {
+	tr := NewTrace([]Task{{ID: 1, Arrive: 1, Size: 2}})
+	m := NewMap(tr, func(task Task) Task {
+		task.Arrive = 99
+		return task
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Next()
+}
+
+func TestMapNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMap(nil, nil)
+}
