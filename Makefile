@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_JSON ?= BENCH_1.json
 
-.PHONY: all build vet test race bench fuzz results quick-results clean
+.PHONY: all build vet fmt-check verify test race bench bench-json fuzz results quick-results clean
 
 all: build vet test
 
@@ -10,14 +11,32 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails if any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Local/CI gate: tier-1 (build + test) plus lint. Tier-1 proper stays
+# `go build ./... && go test ./...`; vet and gofmt ride along here.
+verify: build vet fmt-check test
+
 test:
 	$(GO) test ./...
 
+# The parallel experiment runner and the engine's concurrent callers run
+# under the race detector; any data race here is a release blocker.
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x ./...
+
+# Machine-readable benchmark snapshot for tracking the perf trajectory
+# across PRs (test2json event stream, one JSON object per line).
+# Bump BENCH_JSON (BENCH_2.json, ...) per PR to keep the history.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . ./internal/sim > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
 # Short fuzz pass over every fuzz target (stdlib fuzzing, no deps).
 fuzz:
@@ -27,7 +46,8 @@ fuzz:
 	$(GO) test -fuzz FuzzMeshMetrics -fuzztime 15s ./internal/topology
 	$(GO) test -fuzz FuzzRemoveNodeLinks -fuzztime 15s ./internal/topology
 
-# Regenerate the checked-in experiment outputs (several minutes).
+# Regenerate the checked-in experiment outputs (several minutes;
+# parallelised over GOMAXPROCS, output identical at any width).
 results:
 	$(GO) run ./cmd/realtor-report -out results
 

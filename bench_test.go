@@ -7,6 +7,8 @@
 package main
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -150,6 +152,38 @@ func BenchmarkAblationAlphaBeta(b *testing.B) {
 		cost = pts[0].CostPerTask
 	}
 	b.ReportMetric(cost, "units/task")
+}
+
+// BenchmarkSweepParallel measures the parallel experiment runner on a
+// CI-sized DefaultSweep shape (5 protocols × 10 λ × 3 replications = 150
+// independent cells) at 1 worker and at GOMAXPROCS workers. On a
+// multi-core box the workers=N case should finish the same sweep ≥2×
+// faster than workers=1; on a single core the two are equivalent. Both
+// produce bit-identical output (enforced by the regression test in
+// internal/experiment).
+func BenchmarkSweepParallel(b *testing.B) {
+	protos := experiment.StandardProtocols(protocol.DefaultConfig())
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sc := experiment.FigureSweep([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 400, 3)
+			sc.Workers = workers
+			cells := 0
+			for i := 0; i < b.N; i++ {
+				sc.BaseSeed = int64(i + 1)
+				series := experiment.RunSweep(sc, protos)
+				for _, s := range series {
+					for _, p := range s.Points {
+						cells += len(p.Raw)
+					}
+				}
+			}
+			b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: simulated task

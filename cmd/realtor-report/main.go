@@ -8,6 +8,11 @@
 //	realtor-report                  # full-scale runs into ./results
 //	realtor-report -quick           # shorter runs (CI-sized)
 //	realtor-report -out /tmp/res    # elsewhere
+//	realtor-report -parallel 8      # fan simulation cells over 8 workers
+//
+// The simulator studies fan their independent runs over -parallel worker
+// goroutines (default GOMAXPROCS); outputs are byte-identical for any
+// worker count, so regenerated results never churn from parallelism.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,7 +35,10 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "shorter runs")
 	seed := flag.Int64("seed", 1, "base seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent simulator runs")
 	flag.Parse()
+	experiment.SetParallelism(*parallel)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "realtor-report:", err)
@@ -109,10 +118,7 @@ func main() {
 	write("federation.txt", "# A4/F1 inter-group federation, hot quadrant of 8x8 mesh\n"+
 		experiment.FederationTable(experiment.RunFederation(8, []float64{2, 4, 6, 8, 10}, *seed)))
 
-	var secs []experiment.SecurityResult
-	for _, lam := range []float64{2, 3, 4, 5, 6, 7, 8} {
-		secs = append(secs, experiment.RunSecurity(lam, 0.3, *seed))
-	}
+	secs := experiment.RunSecuritySweep([]float64{2, 3, 4, 5, 6, 7, 8}, 0.3, *seed)
 	write("security.txt", "# A5 security-constrained placement under compromise\n"+
 		experiment.SecurityTable(secs))
 

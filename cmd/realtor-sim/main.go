@@ -19,12 +19,19 @@
 //	realtor-sim -fig 5 -csv             # CSV with 95% CIs instead of a table
 //	realtor-sim -fig 5 -plot            # ASCII chart instead of a table
 //	realtor-sim -duration 5000 -reps 5  # longer, tighter runs
+//	realtor-sim -parallel 8             # 8 worker goroutines (default GOMAXPROCS)
+//	realtor-sim -parallel 1             # sequential reference run (same output)
+//
+// Independent simulation cells fan out across -parallel workers; results
+// are collected by index, so the output is byte-identical for any worker
+// count (see EXPERIMENTS.md, "Parallel execution & reproducibility").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -42,7 +49,10 @@ func main() {
 	asPlot := flag.Bool("plot", false, "draw ASCII charts instead of tables (figs 5-8)")
 	diff := flag.Bool("diff", false, "also print replication-paired differences vs Push-1 (figs 5-8)")
 	lambdas := flag.String("lambdas", "1,2,3,4,5,6,7,8,9,10", "comma-separated task arrival rates")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent runs (output is identical for any value)")
 	flag.Parse()
+	experiment.SetParallelism(*parallel)
 
 	switch *fig {
 	case "5", "6", "7", "8", "all":
@@ -153,10 +163,7 @@ func runSecurity(seed int64) {
 	fmt.Println("# 15/25 nodes offer it; 5 of those are compromised (downgraded to 0)")
 	fmt.Println("# from t=300 to t=600. Constrained tasks must migrate or be dropped;")
 	fmt.Println("# they can never run on a compromised host (engine-enforced).")
-	var rs []experiment.SecurityResult
-	for _, lam := range []float64{2, 3, 4, 5, 6, 7, 8} {
-		rs = append(rs, experiment.RunSecurity(lam, 0.3, seed))
-	}
+	rs := experiment.RunSecuritySweep([]float64{2, 3, 4, 5, 6, 7, 8}, 0.3, seed)
 	fmt.Print(experiment.SecurityTable(rs))
 }
 

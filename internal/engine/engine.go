@@ -145,7 +145,12 @@ type Engine struct {
 
 	// crossing detection state per node
 	above    []bool
-	crossEvs []*sim.Event
+	crossEvs []sim.Event
+
+	// hot-path runner pools: recycled message deliveries and the single
+	// reusable arrival event (at most one arrival is pending at a time).
+	freeDeliveries *delivery
+	arrival        *arrival
 
 	// generation per node: bumped on kill so stale timers no-op
 	gen []int
@@ -193,7 +198,7 @@ func New(cfg Config, build Builder) *Engine {
 		build:    build,
 		rnd:      rng.New(cfg.Seed).Derive("engine"),
 		above:    make([]bool, n),
-		crossEvs: make([]*sim.Event, n),
+		crossEvs: make([]sim.Event, n),
 		gen:      make([]int, n),
 	}
 	for i := 0; i < n; i++ {
@@ -324,10 +329,28 @@ func (e *Engine) scheduleNext(src workload.Source) {
 	if !ok || t.Arrive >= e.cfg.Duration {
 		return
 	}
-	e.sched.At(t.Arrive, func(now sim.Time) {
-		e.handleArrival(now, t)
-		e.scheduleNext(src)
-	})
+	if e.arrival == nil {
+		e.arrival = &arrival{e: e}
+	}
+	e.arrival.src = src
+	e.arrival.task = t
+	e.sched.AtRunner(t.Arrive, e.arrival)
+}
+
+// arrival is the engine's single reusable arrival runner: the workload
+// source emits tasks in time order and only the next one is ever
+// scheduled, so one object serves the whole run with zero allocations.
+type arrival struct {
+	e    *Engine
+	src  workload.Source
+	task workload.Task
+}
+
+// Fire implements sim.Runner.
+func (a *arrival) Fire(now sim.Time) {
+	t := a.task
+	a.e.handleArrival(now, t)
+	a.e.scheduleNext(a.src)
 }
 
 // binFor returns the timeline bin covering time t, or nil if binning is
@@ -564,13 +587,12 @@ func (e *Engine) afterAccept(now sim.Time, id topology.NodeID) {
 		e.disco[id].OnUsageCrossing(true)
 	}
 	// (Re)schedule the downward crossing; any previously scheduled one is
-	// stale because the backlog just grew.
-	if e.crossEvs[id] != nil {
-		e.sched.Cancel(e.crossEvs[id])
-	}
+	// stale because the backlog just grew. Cancel is a generation-checked
+	// no-op on fired or zero handles, so no liveness check is needed.
+	e.sched.Cancel(e.crossEvs[id])
 	gen := e.gen[id]
 	e.crossEvs[id] = e.sched.After(sim.Time(backlog-thr), func(at sim.Time) {
-		e.crossEvs[id] = nil
+		e.crossEvs[id] = sim.Event{}
 		if e.gen[id] != gen || !e.nodes[id].Alive() || !e.above[id] {
 			return
 		}
@@ -591,10 +613,8 @@ func (e *Engine) Kill(id topology.NodeID) {
 	e.disco[id].OnNodeDeath()
 	e.gen[id]++
 	e.above[id] = false
-	if e.crossEvs[id] != nil {
-		e.sched.Cancel(e.crossEvs[id])
-		e.crossEvs[id] = nil
-	}
+	e.sched.Cancel(e.crossEvs[id])
+	e.crossEvs[id] = sim.Event{}
 }
 
 // Revive brings a node back with an empty queue and a brand-new protocol
@@ -710,30 +730,67 @@ func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
 	if e.cfg.LossProb > 0 && e.rnd.Bernoulli(e.cfg.LossProb) {
 		return // datagram lost in transit
 	}
-	toGen := e.gen[to]
-	e.sched.After(e.cfg.HopDelay*sim.Time(dist), func(sim.Time) {
-		if e.gen[to] == toGen && e.nodes[to].Alive() {
-			e.disco[to].Deliver(m)
-		}
-	})
+	d := e.freeDeliveries
+	if d == nil {
+		d = &delivery{e: e}
+	} else {
+		e.freeDeliveries = d.next
+	}
+	d.to, d.gen, d.m = to, e.gen[to], m
+	e.sched.AfterRunner(e.cfg.HopDelay*sim.Time(dist), d)
+}
+
+// delivery is a pooled sim.Runner carrying one in-flight message; the
+// engine recycles them through a free list, so steady-state message
+// traffic schedules with zero allocations.
+type delivery struct {
+	e    *Engine
+	to   topology.NodeID
+	gen  int
+	m    protocol.Message
+	next *delivery // free-list link
+}
+
+// Fire implements sim.Runner: deliver (unless the destination restarted
+// or died in flight) and return self to the engine's pool.
+func (d *delivery) Fire(sim.Time) {
+	e, to, gen, m := d.e, d.to, d.gen, d.m
+	d.m = protocol.Message{} // drop any View slice reference
+	d.next = e.freeDeliveries
+	e.freeDeliveries = d
+	if e.gen[to] == gen && e.nodes[to].Alive() {
+		e.disco[to].Deliver(m)
+	}
 }
 
 // After implements protocol.Env timers scoped to the node's current
 // incarnation: callbacks are suppressed after Kill.
 func (v *nodeEnv) After(d sim.Time, fn func()) protocol.Timer {
 	e := v.engine
-	gen := e.gen[v.id]
-	ev := e.sched.After(d, func(sim.Time) {
-		if e.gen[v.id] == gen && e.nodes[v.id].Alive() {
-			fn()
-		}
-	})
-	return &simTimer{sched: e.sched, ev: ev}
+	t := &simTimer{e: e, id: v.id, gen: e.gen[v.id], fn: fn}
+	t.ev = e.sched.AfterRunner(d, t)
+	return t
 }
 
+// simTimer is both the sim.Runner fired by the scheduler and the
+// protocol.Timer handle returned to the protocol — one allocation covers
+// both roles. It is not pooled: protocols may hold Stop handles
+// arbitrarily long, and Stop on a recycled timer would cancel the slot's
+// next occupant (the sim.Event generation check protects the kernel, but
+// not a reused simTimer's own ev field).
 type simTimer struct {
-	sched *sim.Scheduler
-	ev    *sim.Event
+	e   *Engine
+	id  topology.NodeID
+	gen int
+	fn  func()
+	ev  sim.Event
 }
 
-func (t *simTimer) Stop() { t.sched.Cancel(t.ev) }
+// Fire implements sim.Runner.
+func (t *simTimer) Fire(sim.Time) {
+	if t.e.gen[t.id] == t.gen && t.e.nodes[t.id].Alive() {
+		t.fn()
+	}
+}
+
+func (t *simTimer) Stop() { t.e.sched.Cancel(t.ev) }

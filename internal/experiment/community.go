@@ -28,8 +28,8 @@ type CommunityPoint struct {
 // RunCommunity measures community structure mid-run (at 80 % of the
 // duration, while the system is in steady state).
 func RunCommunity(lambdas []float64, seed int64) []CommunityPoint {
-	out := make([]CommunityPoint, 0, len(lambdas))
-	for _, lambda := range lambdas {
+	return collect(len(lambdas), 0, func(i int) CommunityPoint {
+		lambda := lambdas[i]
 		ecfg := engine.Config{
 			Graph:         topology.Mesh(5, 5),
 			QueueCapacity: 100,
@@ -60,9 +60,8 @@ func RunCommunity(lambdas []float64, seed int64) []CommunityPoint {
 		})
 		src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
 		e.Run(src)
-		out = append(out, pt)
-	}
-	return out
+		return pt
+	})
 }
 
 // CommunityTable renders the C1 statistics.

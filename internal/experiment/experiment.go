@@ -62,6 +62,10 @@ type SweepConfig struct {
 	MeanTaskSize float64
 	Replications int
 	BaseSeed     int64
+	// Workers caps the parallel cell executions for this sweep.
+	// 0 defers to SetParallelism / GOMAXPROCS; 1 forces the sequential
+	// reference path. Output is bit-identical at any setting.
+	Workers int
 }
 
 // DefaultSweep returns the paper's Section 5 setup: 5×5 mesh, 100-second
@@ -102,18 +106,33 @@ type Series struct {
 // RunSweep executes the full sweep. Replication r of every (protocol, λ)
 // cell shares workload seed BaseSeed+r, so protocol comparisons are
 // paired: every contender sees the identical task sequence.
+//
+// The (protocol, λ, replication) cells are fully independent — each owns
+// its engine and rng streams — so they fan out across sc.Workers
+// goroutines. Raw results land in a flat slice indexed by cell, and the
+// aggregation below walks that slice in exactly the order the old
+// sequential loop observed values, so RunSweep's output (including every
+// float summation in metrics.Replication) is bit-identical whatever the
+// worker count.
 func RunSweep(sc SweepConfig, protos []Protocol) []Series {
 	if sc.Replications <= 0 {
 		panic("experiment: need at least one replication")
 	}
+	nL, nR := len(sc.Lambdas), sc.Replications
+	raw := collect(len(protos)*nL*nR, sc.Workers, func(i int) metrics.RunStats {
+		pi := i / (nL * nR)
+		li := i % (nL * nR) / nR
+		r := i % nR
+		return runOnce(sc, protos[pi], sc.Lambdas[li], sc.BaseSeed+int64(r))
+	})
 	out := make([]Series, len(protos))
-	for pi, p := range protos {
-		out[pi].Label = p.Label
-		out[pi].Points = make([]Point, 0, len(sc.Lambdas))
-		for _, lambda := range sc.Lambdas {
+	for pi := range protos {
+		out[pi].Label = protos[pi].Label
+		out[pi].Points = make([]Point, 0, nL)
+		for li, lambda := range sc.Lambdas {
 			pt := Point{Lambda: lambda}
-			for r := 0; r < sc.Replications; r++ {
-				st := runOnce(sc, p, lambda, sc.BaseSeed+int64(r))
+			for r := 0; r < nR; r++ {
+				st := raw[(pi*nL+li)*nR+r]
 				pt.Raw = append(pt.Raw, st)
 				pt.Admission.Observe(st.AdmissionProbability())
 				pt.MessageUnits.Observe(st.MessageUnits)
@@ -262,8 +281,8 @@ type ScalePoint struct {
 // every flood to that many hops, which is what makes the per-node
 // overhead flat as the system grows.
 func RunScale(sizes []int, perNodeLambda float64, radius int, p Protocol, seed int64) []ScalePoint {
-	out := make([]ScalePoint, 0, len(sizes))
-	for _, n := range sizes {
+	return collect(len(sizes), 0, func(i int) ScalePoint {
+		n := sizes[i]
 		g := topology.Mesh(n, n)
 		ecfg := engine.Config{
 			Graph:         g,
@@ -280,16 +299,15 @@ func RunScale(sizes []int, perNodeLambda float64, radius int, p Protocol, seed i
 		src := workload.NewPoisson(lambda, 5, g.N(), rng.New(seed))
 		st := e.Run(src)
 		window := float64(ecfg.Duration - ecfg.Warmup)
-		out = append(out, ScalePoint{
+		return ScalePoint{
 			Nodes:            g.N(),
 			Links:            g.Links(),
 			UnitsPerNodeSec:  st.MessageUnits / float64(g.N()) / window,
 			Admission:        st.AdmissionProbability(),
 			UnitsTotal:       st.MessageUnits,
 			HelpsPlusAdverts: st.HelpMsgs + st.AdvertMsgs,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ScaleTable renders the scalability study.
@@ -317,32 +335,30 @@ type AblationPoint struct {
 // to the local resource manager".
 func RunAlphaBeta(alphas, betas []float64, lambda float64, seed int64) []AblationPoint {
 	base := protocol.DefaultConfig()
-	var out []AblationPoint
-	for _, a := range alphas {
-		for _, bta := range betas {
-			cfg := base
-			cfg.Alpha, cfg.Beta = a, bta
-			ecfg := engine.Config{
-				Graph:         topology.Mesh(5, 5),
-				QueueCapacity: 100,
-				HopDelay:      0.01,
-				Threshold:     0.9,
-				Warmup:        200,
-				Duration:      1200,
-				Seed:          seed,
-			}
-			e := engine.New(ecfg, func() protocol.Discovery { return core.New(cfg) })
-			src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
-			st := e.Run(src)
-			out = append(out, AblationPoint{
-				Alpha:       a,
-				Beta:        bta,
-				Admission:   st.AdmissionProbability(),
-				CostPerTask: st.CostPerAdmitted(),
-				Helps:       st.HelpMsgs,
-			})
+	out := collect(len(alphas)*len(betas), 0, func(i int) AblationPoint {
+		a, bta := alphas[i/len(betas)], betas[i%len(betas)]
+		cfg := base
+		cfg.Alpha, cfg.Beta = a, bta
+		ecfg := engine.Config{
+			Graph:         topology.Mesh(5, 5),
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        200,
+			Duration:      1200,
+			Seed:          seed,
 		}
-	}
+		e := engine.New(ecfg, func() protocol.Discovery { return core.New(cfg) })
+		src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
+		st := e.Run(src)
+		return AblationPoint{
+			Alpha:       a,
+			Beta:        bta,
+			Admission:   st.AdmissionProbability(),
+			CostPerTask: st.CostPerAdmitted(),
+			Helps:       st.HelpMsgs,
+		}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Alpha != out[j].Alpha {
 			return out[i].Alpha < out[j].Alpha

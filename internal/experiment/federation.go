@@ -34,11 +34,16 @@ func RunFederation(meshSide int, lambdas []float64, seed int64) []FederationPoin
 	if meshSide%2 != 0 {
 		panic("experiment: federation mesh side must be even (2x2 groups)")
 	}
+	// Fan out the (λ, federated?) cells; both variants of a λ are
+	// independent runs, so they parallelise too.
+	raw := collect(2*len(lambdas), 0, func(i int) metrics.RunStats {
+		return runFederationOnce(meshSide, lambdas[i/2], seed, i%2 == 1)
+	})
 	out := make([]FederationPoint, 0, len(lambdas))
-	for _, lambda := range lambdas {
+	for li, lambda := range lambdas {
 		pt := FederationPoint{MeshSide: meshSide, Lambda: lambda}
-		pt.Plain = runFederationOnce(meshSide, lambda, seed, false)
-		pt.Federated = runFederationOnce(meshSide, lambda, seed, true)
+		pt.Plain = raw[2*li]
+		pt.Federated = raw[2*li+1]
 		pt.PlainAdm = pt.Plain.AdmissionProbability()
 		pt.FedAdm = pt.Federated.AdmissionProbability()
 		pt.PlainUnits = pt.Plain.MessageUnits

@@ -20,25 +20,31 @@ type LossPoint struct {
 }
 
 // RunLoss sweeps message-loss probabilities at a fixed load for the
-// given protocols.
+// given protocols. The (loss, protocol) cells run on the experiment
+// worker pool; results are keyed by index so output is order-independent.
 func RunLoss(losses []float64, lambda float64, protos []Protocol, seed int64) []LossPoint {
+	nP := len(protos)
+	adm := collect(len(losses)*nP, 0, func(i int) float64 {
+		loss, p := losses[i/nP], protos[i%nP]
+		ecfg := engine.Config{
+			Graph:         topology.Mesh(5, 5),
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        200,
+			Duration:      1200,
+			Seed:          seed,
+			LossProb:      loss,
+		}
+		e := engine.New(ecfg, p.Build)
+		src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
+		return e.Run(src).AdmissionProbability()
+	})
 	out := make([]LossPoint, 0, len(losses))
-	for _, loss := range losses {
-		pt := LossPoint{Loss: loss, Admission: make(map[string]float64, len(protos))}
-		for _, p := range protos {
-			ecfg := engine.Config{
-				Graph:         topology.Mesh(5, 5),
-				QueueCapacity: 100,
-				HopDelay:      0.01,
-				Threshold:     0.9,
-				Warmup:        200,
-				Duration:      1200,
-				Seed:          seed,
-				LossProb:      loss,
-			}
-			e := engine.New(ecfg, p.Build)
-			src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
-			pt.Admission[p.Label] = e.Run(src).AdmissionProbability()
+	for li, loss := range losses {
+		pt := LossPoint{Loss: loss, Admission: make(map[string]float64, nP)}
+		for pi, p := range protos {
+			pt.Admission[p.Label] = adm[li*nP+pi]
 		}
 		out = append(out, pt)
 	}

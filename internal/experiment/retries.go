@@ -23,35 +23,33 @@ type RetryPoint struct {
 	CtrlMsgs    uint64
 }
 
-// RunRetries sweeps MaxTries for REALTOR across loads.
+// RunRetries sweeps MaxTries for REALTOR across loads on the experiment
+// worker pool.
 func RunRetries(lambdas []float64, tries []int, seed int64) []RetryPoint {
-	var out []RetryPoint
 	proto := StandardProtocols(protocolDefault())[4]
-	for _, lambda := range lambdas {
-		for _, n := range tries {
-			ecfg := engine.Config{
-				Graph:         topology.Mesh(5, 5),
-				QueueCapacity: 100,
-				HopDelay:      0.01,
-				Threshold:     0.9,
-				Warmup:        200,
-				Duration:      1200,
-				Seed:          seed,
-				MaxTries:      n,
-			}
-			e := engine.New(ecfg, proto.Build)
-			src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
-			st := e.Run(src)
-			out = append(out, RetryPoint{
-				Lambda:      lambda,
-				Tries:       n,
-				Admission:   st.AdmissionProbability(),
-				MigrateFail: st.MigrateFail,
-				CtrlMsgs:    st.ControlMsgs,
-			})
+	return collect(len(lambdas)*len(tries), 0, func(i int) RetryPoint {
+		lambda, n := lambdas[i/len(tries)], tries[i%len(tries)]
+		ecfg := engine.Config{
+			Graph:         topology.Mesh(5, 5),
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			Warmup:        200,
+			Duration:      1200,
+			Seed:          seed,
+			MaxTries:      n,
 		}
-	}
-	return out
+		e := engine.New(ecfg, proto.Build)
+		src := workload.NewPoisson(lambda, 5, ecfg.Graph.N(), rng.New(seed))
+		st := e.Run(src)
+		return RetryPoint{
+			Lambda:      lambda,
+			Tries:       n,
+			Admission:   st.AdmissionProbability(),
+			MigrateFail: st.MigrateFail,
+			CtrlMsgs:    st.ControlMsgs,
+		}
+	})
 }
 
 // RetryTable renders the ablation.

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The paired-seed design documented on RunSweep (replication r of every
+// cell shares workload seed BaseSeed+r) must survive parallel execution:
+// a sweep run on one worker and on many workers has to produce
+// byte-identical CSV output for every metric. This is the regression
+// guard for the by-index result collection in runner.go.
+func TestSweepDeterminismAcrossWorkers(t *testing.T) {
+	protos := StandardProtocols(protocolDefault())
+	base := FigureSweep([]float64{4, 8}, 400, 2)
+	base.BaseSeed = 7
+
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8 // deliberately more workers than cores and than cells per lambda
+
+	// Parallel first, so the workers hit the shared Graph's cold distance
+	// cache concurrently (regression: the cache races unless it is an
+	// atomic immutable snapshot — run this under -race via `make race`).
+	parSeries := RunSweep(par, protos)
+	seqSeries := RunSweep(seq, protos)
+
+	for _, m := range []Metric{Admission, MessageUnits, CostPerTask, MigrationRate} {
+		a, b := CSV(seqSeries, m), CSV(parSeries, m)
+		if a != b {
+			t.Errorf("CSV(%v) differs between 1 and 8 workers:\nseq:\n%s\npar:\n%s", m, a, b)
+		}
+	}
+	if !reflect.DeepEqual(seqSeries, parSeries) {
+		t.Error("full Series (incl. raw replication stats) differ between 1 and 8 workers")
+	}
+}
+
+// The extension studies route through the same pool via the package-wide
+// parallelism; their outputs must be invariant too.
+func TestStudiesDeterministicUnderParallelism(t *testing.T) {
+	run := func() (any, any, any) {
+		p := StandardProtocols(protocolDefault())[4]
+		scale := RunScale([]int{3, 4}, 0.18, 2, p, 3)
+		retries := RunRetries([]float64{6, 8}, []int{1, 3}, 3)
+		sec := RunSecuritySweep([]float64{4, 7}, 0.3, 3)
+		return scale, retries, sec
+	}
+	defer SetParallelism(SetParallelism(1))
+	s1, r1, x1 := run()
+	SetParallelism(8)
+	s8, r8, x8 := run()
+	if !reflect.DeepEqual(s1, s8) {
+		t.Errorf("RunScale differs: %v vs %v", s1, s8)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("RunRetries differs: %v vs %v", r1, r8)
+	}
+	if !reflect.DeepEqual(x1, x8) {
+		t.Errorf("RunSecuritySweep differs: %v vs %v", x1, x8)
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 251 // prime, not a multiple of any worker count
+		var mu sync.Mutex
+		counts := make([]int, n)
+		forEach(n, workers, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	forEach(0, 4, func(int) { t.Fatal("job ran for n=0") })
+}
+
+func TestCollectPreservesIndexOrder(t *testing.T) {
+	got := collect(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("collect[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// A panic in a worker must surface on the calling goroutine (experiment
+// code panics on invalid configuration), not crash the process from a
+// bare goroutine.
+func TestForEachPropagatesWorkerPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic payload %v does not mention original cause", r)
+		}
+	}()
+	forEach(16, 4, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	if got := resolveWorkers(5); got != 5 {
+		t.Fatalf("per-call hint not honoured: %d", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default parallelism %d, want >= 1", got)
+	}
+}

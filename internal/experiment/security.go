@@ -96,6 +96,14 @@ func RunSecurity(lambda, secureFraction float64, seed int64) SecurityResult {
 	return res
 }
 
+// RunSecuritySweep runs the A5 scenario across loads on the experiment
+// worker pool (each λ is an independent engine run).
+func RunSecuritySweep(lambdas []float64, secureFraction float64, seed int64) []SecurityResult {
+	return collect(len(lambdas), 0, func(i int) SecurityResult {
+		return RunSecurity(lambdas[i], secureFraction, seed)
+	})
+}
+
 // SecurityTable renders one or more security runs.
 func SecurityTable(results []SecurityResult) string {
 	var b strings.Builder

@@ -75,7 +75,7 @@ func (f *FakeEnv) After(d sim.Time, fn func()) protocol.Timer {
 
 type fakeTimer struct {
 	s  *sim.Scheduler
-	ev *sim.Event
+	ev sim.Event
 }
 
 func (t fakeTimer) Stop() { t.s.Cancel(t.ev) }

@@ -5,10 +5,25 @@
 // scheduled (FIFO tie-breaking), which keeps runs fully reproducible for a
 // fixed seed. All protocol simulations in this repository run on top of
 // this kernel; nothing in it is specific to REALTOR.
+//
+// # Implementation notes (hot path)
+//
+// The queue is an index-addressed 4-ary min-heap over a flat []heapItem
+// value slice — no per-event box, no interface{} conversions, no
+// container/heap indirection. Event bookkeeping (handler, generation,
+// heap position) lives in a pooled []eventRec slab recycled through a
+// free list, so a long run performs O(1) amortized allocations no matter
+// how many events it schedules: once the heap and pool reach the run's
+// high-water mark, scheduling is allocation-free.
+//
+// Event handles returned by At/After are small values carrying a pool
+// slot and a generation number. A slot's generation is bumped every time
+// the slot is released (fired or cancelled), so a stale handle held by a
+// caller can never cancel an unrelated event that happens to reuse the
+// slot: Cancel checks the generation first and no-ops on mismatch.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -19,61 +34,55 @@ type Time float64
 // Handler is a callback fired when an event's time is reached.
 type Handler func(now Time)
 
-// Event is a scheduled callback. It is returned by Scheduler.At and
-// Scheduler.After so callers can cancel it before it fires.
+// Runner is the allocation-free alternative to Handler: callers that
+// schedule in a hot loop can implement Fire on a pooled/reused object and
+// pass it to AtRunner/AfterRunner, avoiding a fresh closure per event.
+// (Scheduling a Handler costs nothing extra either — func values are
+// pointer-shaped, so boxing one into this interface does not allocate —
+// but the closure itself is a per-event allocation at the call site.)
+type Runner interface {
+	Fire(now Time)
+}
+
+// runnerFunc adapts a Handler closure to the internal Runner
+// representation without allocating.
+type runnerFunc Handler
+
+func (f runnerFunc) Fire(now Time) { f(now) }
+
+// Event is a handle to a scheduled callback, returned by Scheduler.At and
+// Scheduler.After so callers can cancel it before it fires. It is a small
+// value (pool slot + generation); copying it is cheap and the zero value
+// is a valid "no event" handle for which Cancel is a no-op.
 type Event struct {
-	when    Time
-	seq     uint64 // FIFO tie-break for equal timestamps
-	fn      Handler
-	index   int // heap index, -1 once removed
-	stopped bool
+	slot int32  // 1-based pool index; 0 = zero value / no event
+	gen  uint32 // must match the slot's current generation to be live
 }
 
-// When reports the simulated time at which the event fires.
-func (e *Event) When() Time { return e.when }
-
-// Stopped reports whether the event was cancelled or already fired.
-func (e *Event) Stopped() bool { return e.stopped || e.index < 0 }
-
-// eventQueue implements heap.Interface ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
+// heapItem is one entry of the 4-ary min-heap, ordered by (when, seq).
+// Keeping the ordering keys inline in the heap slice (instead of chasing
+// a pointer per comparison) is what makes sift operations cache-friendly.
+type heapItem struct {
+	when Time
+	seq  uint64 // FIFO tie-break for equal timestamps
+	slot int32  // 0-based pool index of the owning eventRec
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// eventRec is the pooled per-event record. r is cleared on release so
+// the kernel never pins a dead closure or runner.
+type eventRec struct {
+	r    Runner
+	gen  uint32
+	heap int32 // index into Scheduler.heap, -1 when not queued
 }
 
 // Scheduler is the simulation executive. The zero value is not ready to
 // use; create one with New.
 type Scheduler struct {
 	now    Time
-	queue  eventQueue
+	heap   []heapItem
+	pool   []eventRec
+	free   []int32 // released pool slots available for reuse
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -92,14 +101,145 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still scheduled.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Stopped reports whether the event handle no longer refers to a pending
+// event: it was cancelled, already fired, its slot was recycled, or it is
+// the zero handle.
+func (s *Scheduler) Stopped(e Event) bool {
+	if e.slot <= 0 || int(e.slot) > len(s.pool) {
+		return true
+	}
+	rec := &s.pool[e.slot-1]
+	return rec.gen != e.gen || rec.heap < 0
+}
+
+// When reports the simulated time at which the pending event fires. The
+// second result is false if the event already fired or was cancelled.
+func (s *Scheduler) When(e Event) (Time, bool) {
+	if s.Stopped(e) {
+		return 0, false
+	}
+	return s.heap[s.pool[e.slot-1].heap].when, true
+}
+
+// less orders heap items by (when, seq).
+func less(a, b heapItem) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the heap invariant from position i toward the root,
+// keeping pool heap-indices in sync.
+func (s *Scheduler) siftUp(i int) {
+	it := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(it, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.pool[s.heap[i].slot].heap = int32(i)
+		i = p
+	}
+	s.heap[i] = it
+	s.pool[it.slot].heap = int32(i)
+}
+
+// siftDown restores the heap invariant from position i toward the leaves.
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	it := s.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		if !less(s.heap[best], it) {
+			break
+		}
+		s.heap[i] = s.heap[best]
+		s.pool[s.heap[i].slot].heap = int32(i)
+		i = best
+	}
+	s.heap[i] = it
+	s.pool[it.slot].heap = int32(i)
+}
+
+// removeAt deletes the heap entry at index i (which must be valid),
+// preserving the invariant. The owning pool slot is NOT released here.
+func (s *Scheduler) removeAt(i int) {
+	n := len(s.heap) - 1
+	if i != n {
+		s.heap[i] = s.heap[n]
+		s.heap = s.heap[:n]
+		// The moved item may need to travel either direction.
+		s.siftDown(i)
+		s.siftUp(i)
+	} else {
+		s.heap = s.heap[:n]
+	}
+}
+
+// acquire returns a pool slot for a new event, reusing a released slot
+// when one is available. Fresh slots start at generation 1 so the zero
+// Event handle (gen 0) can never match a live record.
+func (s *Scheduler) acquire(r Runner) int32 {
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.pool = append(s.pool, eventRec{gen: 1})
+		slot = int32(len(s.pool) - 1)
+	}
+	s.pool[slot].r = r
+	return slot
+}
+
+// release retires a pool slot: the generation bump invalidates every
+// outstanding handle to it before the slot is recycled.
+func (s *Scheduler) release(slot int32) {
+	rec := &s.pool[slot]
+	rec.r = nil
+	rec.gen++
+	rec.heap = -1
+	s.free = append(s.free, slot)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it is always a programming error and silently reordering events
 // would destroy reproducibility.
-func (s *Scheduler) At(t Time, fn Handler) *Event {
+func (s *Scheduler) At(t Time, fn Handler) Event {
 	if fn == nil {
 		panic("sim: nil handler")
+	}
+	return s.AtRunner(t, runnerFunc(fn))
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (s *Scheduler) After(d Time, fn Handler) Event {
+	return s.At(s.now+d, fn)
+}
+
+// AtRunner schedules r.Fire to run at absolute time t. It is the
+// zero-allocation form of At: pass a pooled or long-lived Runner instead
+// of a fresh closure. The same past/NaN rules apply.
+func (s *Scheduler) AtRunner(t Time, r Runner) Event {
+	if r == nil {
+		panic("sim: nil runner")
 	}
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
@@ -107,38 +247,57 @@ func (s *Scheduler) At(t Time, fn Handler) *Event {
 	if math.IsNaN(float64(t)) {
 		panic("sim: scheduling at NaN")
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn}
+	slot := s.acquire(r)
+	s.heap = append(s.heap, heapItem{when: t, seq: s.seq, slot: slot})
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.siftUp(len(s.heap) - 1)
+	return Event{slot: slot + 1, gen: s.pool[slot].gen}
 }
 
-// After schedules fn to run d seconds from now. Negative delays panic.
-func (s *Scheduler) After(d Time, fn Handler) *Event {
-	return s.At(s.now+d, fn)
+// AfterRunner schedules r.Fire to run d seconds from now.
+func (s *Scheduler) AfterRunner(d Time, r Runner) Event {
+	return s.AtRunner(s.now+d, r)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op, so callers may cancel unconditionally.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event. Cancelling a fired, already-cancelled,
+// or zero-handle event is a no-op (the generation check makes this safe
+// even after the event's pool slot has been recycled), so callers may
+// cancel unconditionally.
+func (s *Scheduler) Cancel(e Event) {
+	if e.slot <= 0 || int(e.slot) > len(s.pool) {
 		return
 	}
-	e.stopped = true
-	heap.Remove(&s.queue, e.index)
+	slot := e.slot - 1
+	rec := &s.pool[slot]
+	if rec.gen != e.gen || rec.heap < 0 {
+		return
+	}
+	s.removeAt(int(rec.heap))
+	s.release(slot)
 }
 
 // Step fires the single earliest event. It reports false when the queue is
 // empty or the scheduler was halted.
 func (s *Scheduler) Step() bool {
-	if s.halted || s.queue.Len() == 0 {
+	if s.halted || len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.when
-	e.stopped = true
+	it := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.pool[s.heap[0].slot].heap = 0
+		s.siftDown(0)
+	}
+	r := s.pool[it.slot].r
+	// Release before invoking so a handler that reschedules immediately
+	// reuses the hottest slot; the generation bump keeps any handle the
+	// caller still holds from cancelling the slot's next occupant.
+	s.release(it.slot)
+	s.now = it.when
 	s.fired++
-	e.fn(s.now)
+	r.Fire(s.now)
 	return true
 }
 
@@ -151,7 +310,9 @@ func (s *Scheduler) Run() {
 // RunUntil executes events with timestamps ≤ end and then advances the
 // clock to exactly end. Events scheduled after end remain pending.
 func (s *Scheduler) RunUntil(end Time) {
-	for !s.halted && s.queue.Len() > 0 && s.queue[0].when <= end {
+	// Peeking s.heap[0] is safe: the root of the 4-ary heap is always the
+	// earliest (when, seq) pair, exactly as with the old binary heap.
+	for !s.halted && len(s.heap) > 0 && s.heap[0].when <= end {
 		s.Step()
 	}
 	if !s.halted && s.now < end {
@@ -172,7 +333,7 @@ type Ticker struct {
 	s      *Scheduler
 	period Time
 	fn     Handler
-	ev     *Event
+	ev     Event
 	stop   bool
 }
 
@@ -188,15 +349,19 @@ func (s *Scheduler) NewTicker(period Time, fn Handler) *Ticker {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.period, func(now Time) {
-		if t.stop {
-			return
-		}
-		t.fn(now)
-		if !t.stop {
-			t.arm()
-		}
-	})
+	t.ev = t.s.AfterRunner(t.period, t)
+}
+
+// Fire implements Runner; the Ticker reschedules itself so each tick
+// costs zero allocations.
+func (t *Ticker) Fire(now Time) {
+	if t.stop {
+		return
+	}
+	t.fn(now)
+	if !t.stop {
+		t.arm()
+	}
 }
 
 // Stop cancels the ticker. Safe to call multiple times.

@@ -90,22 +90,31 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.At(1, func(Time) { fired = true })
+	if s.Stopped(e) {
+		t.Fatal("pending event reported stopped")
+	}
+	if at, ok := s.When(e); !ok || at != 1 {
+		t.Fatalf("When = %v,%v, want 1,true", at, ok)
+	}
 	s.Cancel(e)
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Stopped() {
+	if !s.Stopped(e) {
 		t.Fatal("cancelled event not marked stopped")
 	}
-	s.Cancel(e) // double cancel is a no-op
-	s.Cancel(nil)
+	if _, ok := s.When(e); ok {
+		t.Fatal("When on cancelled event reported a time")
+	}
+	s.Cancel(e)       // double cancel is a no-op
+	s.Cancel(Event{}) // zero handle is a no-op
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []Time
-	var evs []*Event
+	var evs []Event
 	for _, at := range []Time{1, 2, 3, 4, 5} {
 		evs = append(evs, s.At(at, func(now Time) { got = append(got, now) }))
 	}
@@ -253,7 +262,7 @@ func TestQuickCancelSubset(t *testing.T) {
 		s := New()
 		n := 1 + rnd.Intn(50)
 		fired := map[int]bool{}
-		evs := make([]*Event, n)
+		evs := make([]Event, n)
 		for i := 0; i < n; i++ {
 			i := i
 			evs[i] = s.At(Time(rnd.Intn(100)), func(Time) { fired[i] = true })

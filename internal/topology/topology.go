@@ -12,6 +12,7 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"realtor/internal/rng"
 )
@@ -22,13 +23,26 @@ type NodeID int
 // Graph is an undirected overlay graph. Construct one with a builder
 // (Mesh, Torus, ...) or NewGraph + AddLink; mutating after calling path
 // queries is allowed — caches invalidate automatically.
+//
+// Concurrency: path queries (Dist, Diameter, ...) are safe to call from
+// multiple goroutines — the lazily built distance cache sits behind an
+// atomic pointer, so the parallel experiment runner may share one Graph
+// across engines. Mutators (AddLink, RemoveNodeLinks) are NOT safe to
+// run concurrently with queries or each other; mutate only during
+// single-threaded setup or inside a single engine's event loop.
 type Graph struct {
 	n     int
 	adj   [][]NodeID
 	links int
 
 	// lazily computed all-pairs BFS distances; nil until first use
-	dist [][]int
+	dist atomic.Pointer[distMatrix]
+}
+
+// distMatrix is an immutable all-pairs distance snapshot. rows[i][j] is
+// the hop count from i to j, -1 if unreachable.
+type distMatrix struct {
+	rows [][]int
 }
 
 // NewGraph returns a graph with n isolated nodes.
@@ -77,7 +91,7 @@ func (g *Graph) AddLink(a, b NodeID) {
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 	g.links++
-	g.dist = nil
+	g.dist.Store(nil)
 }
 
 // RemoveNodeLinks detaches a node from all its neighbors (used by attack
@@ -88,7 +102,7 @@ func (g *Graph) RemoveNodeLinks(id NodeID) {
 		g.links--
 	}
 	g.adj[id] = nil
-	g.dist = nil
+	g.dist.Store(nil)
 }
 
 func remove(s []NodeID, v NodeID) []NodeID {
@@ -120,28 +134,38 @@ func (g *Graph) bfs(src NodeID, row []int) {
 	}
 }
 
-func (g *Graph) ensureDist() {
-	if g.dist != nil {
-		return
+// ensureDist returns the current distance snapshot, computing it on
+// first use. Concurrent first callers may each compute the matrix; for a
+// fixed adjacency the results are identical, and the CAS keeps exactly
+// one, so racing readers always see a complete, immutable snapshot
+// (unlike the old in-place lazy fill, which published partially built
+// rows).
+func (g *Graph) ensureDist() *distMatrix {
+	if m := g.dist.Load(); m != nil {
+		return m
 	}
-	g.dist = make([][]int, g.n)
+	m := &distMatrix{rows: make([][]int, g.n)}
 	backing := make([]int, g.n*g.n)
 	for i := 0; i < g.n; i++ {
-		g.dist[i] = backing[i*g.n : (i+1)*g.n]
-		g.bfs(NodeID(i), g.dist[i])
+		m.rows[i] = backing[i*g.n : (i+1)*g.n]
+		g.bfs(NodeID(i), m.rows[i])
 	}
+	if !g.dist.CompareAndSwap(nil, m) {
+		if prev := g.dist.Load(); prev != nil {
+			return prev
+		}
+	}
+	return m
 }
 
 // Dist returns the hop distance between a and b, or -1 if unreachable.
 func (g *Graph) Dist(a, b NodeID) int {
-	g.ensureDist()
-	return g.dist[a][b]
+	return g.ensureDist().rows[a][b]
 }
 
 // Connected reports whether every node can reach every other node.
 func (g *Graph) Connected() bool {
-	g.ensureDist()
-	for _, d := range g.dist[0] {
+	for _, d := range g.ensureDist().rows[0] {
 		if d < 0 {
 			return false
 		}
@@ -151,10 +175,10 @@ func (g *Graph) Connected() bool {
 
 // Diameter returns the longest shortest path, or -1 if disconnected.
 func (g *Graph) Diameter() int {
-	g.ensureDist()
+	dist := g.ensureDist().rows
 	max := 0
-	for i := range g.dist {
-		for _, d := range g.dist[i] {
+	for i := range dist {
+		for _, d := range dist[i] {
 			if d < 0 {
 				return -1
 			}
@@ -171,10 +195,10 @@ func (g *Graph) Diameter() int {
 // paper rounds the PLEDGE cost to 4, which callers may do themselves (see
 // protocol.CostModel).
 func (g *Graph) MeanPathLength() float64 {
-	g.ensureDist()
+	dist := g.ensureDist().rows
 	sum, cnt := 0, 0
-	for i := range g.dist {
-		for j, d := range g.dist[i] {
+	for i := range dist {
+		for j, d := range dist[i] {
 			if i != j && d > 0 {
 				sum += d
 				cnt++
@@ -189,9 +213,8 @@ func (g *Graph) MeanPathLength() float64 {
 
 // Eccentricity returns the maximum distance from id to any reachable node.
 func (g *Graph) Eccentricity(id NodeID) int {
-	g.ensureDist()
 	max := 0
-	for _, d := range g.dist[id] {
+	for _, d := range g.ensureDist().rows[id] {
 		if d > max {
 			max = d
 		}

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -299,5 +300,40 @@ func BenchmarkAPSPMesh10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g := Mesh(10, 10)
 		_ = g.MeanPathLength()
+	}
+}
+
+// The distance cache must be safe for concurrent first-use: the parallel
+// experiment runner shares one Graph across engines, and the very first
+// Dist calls race to build the cache. Run with -race; before the cache
+// moved behind an atomic snapshot this both raced and could read
+// partially published rows.
+func TestConcurrentDistQueriesColdCache(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		g := Mesh(6, 6) // fresh graph: cold cache every trial
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < g.N(); i++ {
+					for j := 0; j < g.N(); j++ {
+						if d := g.Dist(NodeID(i), NodeID(j)); d < 0 {
+							errs <- "unreachable pair in connected mesh"
+							return
+						}
+					}
+				}
+				if g.Diameter() != 10 {
+					errs <- "wrong 6x6 mesh diameter"
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
 	}
 }
