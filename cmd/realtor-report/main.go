@@ -132,6 +132,11 @@ func main() {
 	write("retries.txt", "# A7 one-try vs walk-the-list migration, REALTOR\n"+
 		experiment.RetryTable(experiment.RunRetries([]float64{6, 8, 10}, []int{1, 2, 3, 5}, *seed)))
 
+	pst := experiment.DefaultPartitionStudy()
+	write("partition.txt", "# P1 partition survivability: 5x5 mesh bisected 10/15 mid-run\n"+
+		experiment.PartitionTable(experiment.RunPartition(pst,
+			[]float64{3, 4, 5, 6, 7, 8, 9}, *seed)))
+
 	write("community.txt", "# C1 emergent community structure vs load\n"+
 		experiment.CommunityTable(experiment.RunCommunity(
 			[]float64{2, 4, 5, 6, 7, 8, 9, 10}, *seed)))

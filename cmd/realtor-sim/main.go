@@ -16,6 +16,7 @@
 //	realtor-sim -fig loss               # robustness to message loss
 //	realtor-sim -fig gossip             # REALTOR vs anti-entropy gossip (modern comparator)
 //	realtor-sim -fig retries            # one-try vs walk-the-list migration
+//	realtor-sim -fig partition          # survivability across a mesh bisection
 //	realtor-sim -fig 5 -csv             # CSV with 95% CIs instead of a table
 //	realtor-sim -fig 5 -plot            # ASCII chart instead of a table
 //	realtor-sim -duration 5000 -reps 5  # longer, tighter runs
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|ab|fed|sec|loss|gossip|retries|community")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|ab|fed|sec|loss|gossip|retries|community|partition")
 	duration := flag.Float64("duration", 2200, "simulated seconds per run")
 	reps := flag.Int("reps", 3, "independent replications per point")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -73,6 +74,8 @@ func main() {
 		runRetries(*seed)
 	case "community":
 		runCommunity(*seed)
+	case "partition":
+		runPartition(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "realtor-sim: unknown figure %q\n", *fig)
 		flag.Usage()
@@ -215,6 +218,17 @@ func runCommunity(seed int64) {
 	fmt.Println("# memberships stay under the configured cap.")
 	pts := experiment.RunCommunity([]float64{2, 4, 5, 6, 7, 8, 9, 10}, seed)
 	fmt.Print(experiment.CommunityTable(pts))
+}
+
+func runPartition(seed int64) {
+	st := experiment.DefaultPartitionStudy()
+	fmt.Printf("# Partition survivability (P1): 5x5 mesh bisected at column %d\n", st.Col)
+	fmt.Printf("# (10 nodes left / 15 right) from t=%g to t=%g of a %gs run.\n",
+		float64(st.At), float64(st.Heal), float64(st.Duration))
+	fmt.Println("# Admission is bucketed by task arrival; reconverge is seconds after")
+	fmt.Println("# the heal until both sides hold post-heal pledges from the far side.")
+	pts := experiment.RunPartition(st, []float64{3, 4, 5, 6, 7, 8, 9}, seed)
+	fmt.Print(experiment.PartitionTable(pts))
 }
 
 func runAblation(seed int64) {

@@ -1,0 +1,333 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"realtor/internal/protocol"
+)
+
+// drain consumes packets from e until the deadline, returning the count.
+func drainFor(e Endpoint, d time.Duration) int {
+	n := 0
+	deadline := time.After(d)
+	for {
+		select {
+		case _, ok := <-e.Inbox():
+			if !ok {
+				return n
+			}
+			n++
+		case <-deadline:
+			return n
+		}
+	}
+}
+
+func TestFaultPassThroughByDefault(t *testing.T) {
+	f := NewFault(NewChan(3), 1)
+	defer f.Close()
+	if err := f.Endpoint(0).Send(2, Packet{Disc: &protocol.Message{Kind: protocol.Pledge}}); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, f.Endpoint(2))
+	if p.From != 0 || p.To != 2 || p.Disc == nil {
+		t.Fatalf("pass-through packet %+v", p)
+	}
+	if err := f.Endpoint(1).Broadcast(Packet{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{0, 2} {
+		if p := recvOne(t, f.Endpoint(id)); p.From != 1 {
+			t.Fatalf("endpoint %d got broadcast %+v", id, p)
+		}
+	}
+	if f.Sent() != 3 || f.Dropped() != 0 {
+		t.Fatalf("sent=%d dropped=%d, want 3/0", f.Sent(), f.Dropped())
+	}
+}
+
+// Per-pair drop streams are seeded: the same seed produces the same
+// delivered count, and a different seed (almost surely) a different one.
+func TestFaultDropDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		f := NewFault(NewChan(2), seed)
+		defer f.Close()
+		f.SetDefaultRule(FaultRule{Drop: 0.5})
+		for i := 0; i < 200; i++ {
+			f.Endpoint(0).Send(1, Packet{})
+		}
+		return drainFor(f.Endpoint(1), 50*time.Millisecond)
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed delivered %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("Drop=0.5 delivered %d/200", a)
+	}
+}
+
+func TestFaultDuplicate(t *testing.T) {
+	f := NewFault(NewChan(2), 3)
+	defer f.Close()
+	f.SetRule(0, 1, FaultRule{Duplicate: 1})
+	for i := 0; i < 10; i++ {
+		f.Endpoint(0).Send(1, Packet{})
+	}
+	if got := drainFor(f.Endpoint(1), 50*time.Millisecond); got != 20 {
+		t.Fatalf("Duplicate=1 delivered %d, want 20", got)
+	}
+}
+
+func TestFaultDelayAndJitterDeliverLate(t *testing.T) {
+	f := NewFault(NewChan(2), 5)
+	defer f.Close()
+	f.SetRule(0, 1, FaultRule{Delay: 40 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	start := time.Now()
+	f.Endpoint(0).Send(1, Packet{})
+	recvOne(t, f.Endpoint(1))
+	if d := time.Since(start); d < 35*time.Millisecond {
+		t.Fatalf("delivery took %v, want ≥ delay", d)
+	}
+}
+
+func TestFaultRuleValidation(t *testing.T) {
+	f := NewFault(NewChan(2), 1)
+	defer f.Close()
+	for _, bad := range []FaultRule{{Drop: -0.1}, {Drop: 1.1}, {Duplicate: 2}, {Delay: -time.Second}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rule %+v accepted", bad)
+				}
+			}()
+			f.SetDefaultRule(bad)
+		}()
+	}
+}
+
+func TestFaultPartitionBlocksAndHealRestores(t *testing.T) {
+	f := NewFault(NewChan(4), 1)
+	defer f.Close()
+	f.SetPartition([]int{0, 1}, []int{2, 3})
+	if !f.Partitioned() {
+		t.Fatal("Partitioned() false after SetPartition")
+	}
+	f.Endpoint(0).Send(2, Packet{}) // cross-group: dropped
+	f.Endpoint(0).Send(1, Packet{}) // same-group: delivered
+	if got := drainFor(f.Endpoint(2), 30*time.Millisecond); got != 0 {
+		t.Fatalf("cross-partition delivery: %d packets", got)
+	}
+	recvOne(t, f.Endpoint(1))
+	if f.FaultDrops() != 1 {
+		t.Fatalf("fault drops %d, want 1", f.FaultDrops())
+	}
+	// A broadcast from 0 only reaches its own side.
+	f.Endpoint(0).Broadcast(Packet{})
+	recvOne(t, f.Endpoint(1))
+	if got := drainFor(f.Endpoint(3), 30*time.Millisecond); got != 0 {
+		t.Fatal("broadcast crossed the partition")
+	}
+	f.Heal()
+	if f.Partitioned() {
+		t.Fatal("Partitioned() true after Heal")
+	}
+	f.Endpoint(0).Send(2, Packet{})
+	recvOne(t, f.Endpoint(2))
+}
+
+func TestFaultPartitionIsolatesUnlistedEndpoints(t *testing.T) {
+	f := NewFault(NewChan(3), 1)
+	defer f.Close()
+	f.SetPartition([]int{0, 1}) // 2 in no group → isolated
+	f.Endpoint(0).Send(2, Packet{})
+	f.Endpoint(2).Send(0, Packet{})
+	if got := drainFor(f.Endpoint(2), 30*time.Millisecond); got != 0 {
+		t.Fatal("isolated endpoint received a packet")
+	}
+	if got := drainFor(f.Endpoint(0), 30*time.Millisecond); got != 0 {
+		t.Fatal("isolated endpoint's send was delivered")
+	}
+}
+
+// The acceptance scenario: a FaultNetwork-wrapped TCP cluster under
+// concurrent traffic survives a forced partition and heal, and tearing
+// it down leaks no goroutines.
+func TestFaultTCPPartitionHealNoGoroutineLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	tcp, err := NewTCP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFault(tcp, 42)
+	f.SetDefaultRule(FaultRule{Delay: time.Millisecond, Jitter: time.Millisecond})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(2)
+		go func(e Endpoint) { // sender
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.Send((e.ID()+1+i%3)%4, Packet{Adm: &Admission{Seq: uint64(i)}})
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(f.Endpoint(id))
+		go func(e Endpoint) { // receiver
+			defer wg.Done()
+			for range e.Inbox() {
+			}
+		}(f.Endpoint(id))
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	f.SetPartition([]int{0, 1}, []int{2, 3})
+	time.Sleep(30 * time.Millisecond)
+	if f.FaultDrops() == 0 {
+		t.Error("no fault drops while partitioned under traffic")
+	}
+	f.Heal()
+	time.Sleep(20 * time.Millisecond)
+
+	// Post-heal cross-group delivery works (through real TCP, which may
+	// need its reconnect path after idle connections broke).
+	probe := f.Endpoint(0)
+	if err := probe.Send(2, Packet{Adm: &Admission{Seq: 999999}}); err != nil {
+		t.Fatalf("post-heal send failed: %v", err)
+	}
+
+	close(stop)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // receivers exit when inboxes close
+
+	// All accept/read loops and delayed deliveries must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d > baseline %d\n%s", g, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// Regression for the ChanNetwork shutdown race: concurrent Send and
+// Close used to trip "WaitGroup.Add called concurrently with Wait"
+// (and could push into a closed inbox). Run with -race.
+func TestChanCloseDeliverRace(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		n := NewChan(2, WithLatency(50*time.Microsecond))
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := n.Endpoint(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					e.Send(1, Packet{})
+				}
+			}
+		}()
+		time.Sleep(100 * time.Microsecond)
+		n.Close()
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// FaultNetwork close is likewise safe against in-flight delayed sends.
+func TestFaultCloseFlushesDelayedSends(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		f := NewFault(NewChan(2), int64(i))
+		f.SetDefaultRule(FaultRule{Delay: 100 * time.Microsecond})
+		for j := 0; j < 20; j++ {
+			f.Endpoint(0).Send(1, Packet{})
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err) // idempotent
+		}
+	}
+}
+
+func TestTCPWriteReconnectsAfterBrokenConnection(t *testing.T) {
+	nw, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	ep := nw.endpoints[0]
+	if err := ep.Send(1, Packet{Adm: &Admission{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, nw.Endpoint(1))
+	// Sever the established connection underneath the endpoint; the next
+	// write must fail once internally, redial, and still succeed.
+	ep.mu.Lock()
+	c := ep.conns[1]
+	ep.mu.Unlock()
+	c.conn.Close()
+	time.Sleep(5 * time.Millisecond) // let the peer's read loop observe EOF
+	if err := ep.Send(1, Packet{Adm: &Admission{Seq: 2}}); err != nil {
+		t.Fatalf("send after severed connection: %v", err)
+	}
+	p := recvOne(t, nw.Endpoint(1))
+	if p.Adm == nil || p.Adm.Seq != 2 {
+		t.Fatalf("reconnected send delivered %+v", p)
+	}
+	if nw.Dropped() == 0 {
+		t.Error("broken-connection write not counted as dropped")
+	}
+}
+
+func TestTCPDialRetryGivesUpWhenPeerGone(t *testing.T) {
+	nw, err := NewTCP(2, WithDialRetry(3, time.Millisecond, 4*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	// Kill endpoint 1's listener so every dial attempt fails.
+	nw.endpoints[1].ln.Close()
+	start := time.Now()
+	if err := nw.Endpoint(0).Send(1, Packet{}); err == nil {
+		t.Fatal("send to dead listener succeeded")
+	}
+	// Two backoff sleeps happened (attempts 2 and 3).
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("retries returned in %v; backoff not applied", d)
+	}
+}
+
+func TestWithDialRetryValidation(t *testing.T) {
+	for _, bad := range [][3]any{
+		{0, time.Millisecond, time.Second},
+		{2, time.Duration(0), time.Second},
+		{2, time.Second, time.Millisecond},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("policy %v accepted", bad)
+				}
+			}()
+			WithDialRetry(bad[0].(int), bad[1].(time.Duration), bad[2].(time.Duration))
+		}()
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TCPNetwork runs each endpoint on a loopback TCP listener with
@@ -23,14 +25,46 @@ type TCPNetwork struct {
 	dropped   atomic.Uint64
 	closed    atomic.Bool
 	wg        sync.WaitGroup
+
+	// Reconnect policy (see WithDialRetry).
+	dialAttempts int
+	backoffBase  time.Duration
+	backoffCap   time.Duration
 }
 
-// NewTCP binds n loopback listeners and starts their accept loops.
-func NewTCP(n int) (*TCPNetwork, error) {
+// TCPOption configures a TCPNetwork.
+type TCPOption func(*TCPNetwork)
+
+// WithDialRetry sets the reconnect policy: up to attempts dials per
+// connection, sleeping an exponentially growing backoff (starting at
+// base, capped at max) plus up to 50% random jitter between attempts —
+// the jitter decorrelates a cluster's worth of endpoints all redialling
+// the same healed peer. attempts <= 1 disables retrying.
+func WithDialRetry(attempts int, base, max time.Duration) TCPOption {
+	if attempts < 1 || base <= 0 || max < base {
+		panic("transport: invalid dial-retry policy")
+	}
+	return func(nw *TCPNetwork) {
+		nw.dialAttempts, nw.backoffBase, nw.backoffCap = attempts, base, max
+	}
+}
+
+// NewTCP binds n loopback listeners and starts their accept loops. By
+// default a failed dial is retried a few times with exponential backoff
+// (a peer mid-restart or just healed from a partition is usually back
+// within milliseconds); WithDialRetry tunes or disables that.
+func NewTCP(n int, opts ...TCPOption) (*TCPNetwork, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("transport: need at least one endpoint")
 	}
-	nw := &TCPNetwork{}
+	nw := &TCPNetwork{
+		dialAttempts: 5,
+		backoffBase:  5 * time.Millisecond,
+		backoffCap:   250 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(nw)
+	}
 	for i := 0; i < n; i++ {
 		ln, err := net.ListenTCP("tcp4", &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1)})
 		if err != nil {
@@ -136,22 +170,40 @@ func (e *tcpEndpoint) readLoop(conn *net.TCPConn) {
 	}
 }
 
-// dial returns (creating if needed) the persistent connection to peer.
+// dial returns (creating if needed) the persistent connection to peer,
+// retrying with exponential backoff + jitter per the network's policy.
+// It holds the endpoint's connection lock across retries, serializing
+// concurrent senders behind one reconnect instead of racing dials.
 func (e *tcpEndpoint) dial(to int) (*tcpConn, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if c, ok := e.conns[to]; ok {
 		return c, nil
 	}
-	raw, err := net.DialTCP("tcp4", nil, e.net.addrs[to])
-	if err != nil {
-		return nil, err
+	backoff := e.net.backoffBase
+	var err error
+	for attempt := 0; attempt < e.net.dialAttempts; attempt++ {
+		if attempt > 0 {
+			if e.net.closed.Load() {
+				break // the fabric is shutting down; stop retrying
+			}
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > e.net.backoffCap {
+				backoff = e.net.backoffCap
+			}
+		}
+		var raw *net.TCPConn
+		raw, err = net.DialTCP("tcp4", nil, e.net.addrs[to])
+		if err != nil {
+			continue
+		}
+		raw.SetNoDelay(true)
+		bw := bufio.NewWriter(raw)
+		c := &tcpConn{conn: raw, enc: gob.NewEncoder(bw), bw: bw}
+		e.conns[to] = c
+		return c, nil
 	}
-	raw.SetNoDelay(true)
-	bw := bufio.NewWriter(raw)
-	c := &tcpConn{conn: raw, enc: gob.NewEncoder(bw), bw: bw}
-	e.conns[to] = c
-	return c, nil
+	return nil, err
 }
 
 func (e *tcpEndpoint) Send(to int, p Packet) error {
@@ -177,29 +229,37 @@ func (e *tcpEndpoint) Broadcast(p Packet) error {
 }
 
 func (e *tcpEndpoint) write(to int, p Packet) error {
-	c, err := e.dial(to)
-	if err != nil {
-		e.net.dropped.Add(1)
-		return fmt.Errorf("transport: dial %d: %w", to, err)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e.net.sent.Add(1)
-	if err := c.enc.Encode(p); err == nil {
-		err = c.bw.Flush()
+	// One reconnect-and-retry on a broken connection: the first write on
+	// a connection severed while idle (peer restarted, partition healed)
+	// fails, the second goes out on a fresh dial.
+	for attempt := 0; ; attempt++ {
+		c, err := e.dial(to)
+		if err != nil {
+			e.net.dropped.Add(1)
+			return fmt.Errorf("transport: dial %d: %w", to, err)
+		}
+		c.mu.Lock()
+		e.net.sent.Add(1)
+		err = c.enc.Encode(p)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.mu.Unlock()
 		if err == nil {
 			return nil
 		}
+		// Connection is broken: drop it so the next attempt redials.
+		e.mu.Lock()
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		c.conn.Close()
+		e.net.dropped.Add(1)
+		if attempt > 0 || e.net.closed.Load() {
+			return fmt.Errorf("transport: send to %d failed", to)
+		}
 	}
-	// Connection is broken: drop it so the next send redials.
-	e.mu.Lock()
-	if e.conns[to] == c {
-		delete(e.conns, to)
-	}
-	e.mu.Unlock()
-	c.conn.Close()
-	e.net.dropped.Add(1)
-	return fmt.Errorf("transport: send to %d failed", to)
 }
 
 func (e *tcpEndpoint) Inbox() <-chan Packet { return e.inbox }

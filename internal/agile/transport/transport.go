@@ -111,8 +111,15 @@ type ChanNetwork struct {
 	sent    atomic.Uint64
 	dropped atomic.Uint64
 
+	// closed/closeMu/wg implement a race-free shutdown: deliver holds
+	// closeMu for reading across its closed-check and wg.Add, so Close
+	// (which takes it for writing before swapping closed and waiting)
+	// can never start wg.Wait between the two — the race that used to
+	// panic with "Add called concurrently with Wait" under -race. The
+	// delayed-delivery callbacks themselves never take the lock; wg
+	// alone fences them against the inbox close.
 	closed  atomic.Bool
-	closeMu sync.Mutex
+	closeMu sync.RWMutex
 	wg      sync.WaitGroup
 }
 
@@ -186,6 +193,8 @@ func (n *ChanNetwork) lose() bool {
 }
 
 func (n *ChanNetwork) deliver(to int, p Packet) {
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
 	if n.closed.Load() {
 		n.dropped.Add(1)
 		return
@@ -334,8 +343,7 @@ func (e *udpEndpoint) Send(to int, p Packet) error {
 }
 
 func (e *udpEndpoint) Broadcast(p Packet) error {
-	p.From, p.To = Broadcast, Broadcast
-	p.From = e.id
+	p.From, p.To = e.id, Broadcast
 	var first error
 	for i := range e.net.endpoints {
 		if i == e.id {

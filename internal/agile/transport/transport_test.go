@@ -29,9 +29,10 @@ func networks(t *testing.T, n int) map[string]Network {
 		t.Fatal(err)
 	}
 	return map[string]Network{
-		"chan": NewChan(n),
-		"udp":  udp,
-		"tcp":  tcp,
+		"chan":  NewChan(n),
+		"udp":   udp,
+		"tcp":   tcp,
+		"fault": NewFault(NewChan(n), 1), // chaos layer, no rules: pass-through
 	}
 }
 

@@ -121,6 +121,13 @@ func (r Region) Apply(e *engine.Engine) {
 // UpFor, starting at Start and stopping after Until. It stresses the
 // soft-state refresh path — a protocol holding hard state would keep
 // routing tasks to the flapping node.
+//
+// End-state: a flap window that ends mid-down leaves the node DEAD for
+// the rest of the run — revives are only scheduled strictly before
+// Until, because a flap models an attack, and an attack that is still
+// holding the node when the window closes has won that node. Pinned by
+// TestFlapEndingMidDownLeavesNodeDead; extend Until past the final
+// DownFor (or compose with Kill{Revive: ...}) if the node must return.
 type Flap struct {
 	Target  topology.NodeID
 	Start   sim.Time

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"sort"
+
 	"realtor/internal/protocol"
 	"realtor/internal/sim"
 	"realtor/internal/topology"
@@ -217,11 +219,20 @@ func (r *Realtor) OnUsageCrossing(rising bool) {
 	if rising {
 		headroom = 0
 	}
+	// Purge first, then pledge in ascending organizer order: iterating
+	// the map directly would emit the unicasts in Go's randomized map
+	// order, which reorders the engine's loss-rng draws and made runs
+	// with LossProb > 0 non-reproducible across processes.
+	orgs := make([]topology.NodeID, 0, len(r.memberOf))
 	for org, expiry := range r.memberOf {
 		if expiry < now {
 			delete(r.memberOf, org)
 			continue
 		}
+		orgs = append(orgs, org)
+	}
+	sort.Slice(orgs, func(i, j int) bool { return orgs[i] < orgs[j] })
+	for _, org := range orgs {
 		r.env.Unicast(org, protocol.Message{
 			Kind:        protocol.Pledge,
 			From:        r.env.Self(),

@@ -68,7 +68,8 @@ type Config struct {
 
 	// LossProb drops each protocol message delivery independently with
 	// this probability (deterministically, from Seed). The paper argues
-	// REALTOR's soft state makes it robust to exactly this; 0 disables.
+	// REALTOR's soft state makes it robust to exactly this; 0 disables
+	// and 1 is a total blackout (no discovery traffic at all).
 	// Task transfers and admission negotiation are not dropped (they are
 	// reliable/TCP in the paper's architecture).
 	LossProb float64
@@ -111,8 +112,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: Groups and FloodRadius are mutually exclusive")
 	case c.Attrs != nil && len(c.Attrs) != c.Graph.N():
 		return fmt.Errorf("engine: %d attribute sets for %d nodes", len(c.Attrs), c.Graph.N())
-	case c.LossProb < 0 || c.LossProb >= 1:
-		return fmt.Errorf("engine: loss probability %v outside [0,1)", c.LossProb)
+	case c.LossProb < 0 || c.LossProb > 1:
+		// LossProb == 1 is a deliberate total blackout: every discovery
+		// datagram is lost, so only local admission can succeed —
+		// expressible so adversarial tests can pin the degenerate case.
+		return fmt.Errorf("engine: loss probability %v outside [0,1]", c.LossProb)
 	case c.MaxTries < 0:
 		return fmt.Errorf("engine: negative MaxTries")
 	case c.Capacities != nil && len(c.Capacities) != c.Graph.N():
@@ -140,6 +144,14 @@ type Engine struct {
 	envs  []*nodeEnv
 	build Builder
 	rnd   *rng.Stream
+
+	// graph is the live topology view every flood/unicast routes
+	// through: initially cfg.Graph, replaced by a private clone on the
+	// first link mutation (copy-on-write), so experiments may share one
+	// pristine Graph across parallel engines while each engine cuts and
+	// heals links independently inside its own event loop.
+	graph     *topology.Graph
+	ownsGraph bool
 
 	stats metrics.RunStats
 
@@ -190,6 +202,7 @@ func New(cfg Config, build Builder) *Engine {
 	n := cfg.Graph.N()
 	e := &Engine{
 		cfg:      cfg,
+		graph:    cfg.Graph,
 		sched:    sim.New(),
 		cost:     protocol.NewCostModel(cfg.Graph),
 		nodes:    make([]*node.Node, n),
@@ -309,9 +322,9 @@ func (e *Engine) Run(src workload.Source) metrics.RunStats {
 	// Grace period: no new arrivals (scheduleNext stops generating), but
 	// in-flight migrations and deliveries complete. Message costs incurred
 	// after Duration are outside the measurement window by definition.
-	diam := e.cfg.Graph.Diameter()
+	diam := e.graph.Diameter()
 	if diam < 0 {
-		diam = e.cfg.Graph.N()
+		diam = e.graph.N()
 	}
 	e.sched.RunUntil(e.cfg.Duration + 2*e.cfg.HopDelay*sim.Time(diam) + 1)
 	if err := e.stats.Validate(); err != nil {
@@ -481,7 +494,12 @@ func (e *Engine) tryMigrationN(now sim.Time, from topology.NodeID, t workload.Ta
 	cands := e.disco[from].Candidates(t.Size)
 	var target topology.NodeID = -1
 	for _, c := range cands {
-		if c.ID != from && e.nodes[c.ID].Alive() && e.satisfies(c.ID, t.Require) {
+		// A candidate must be alive, attribute-compatible, and reachable
+		// in the live overlay: a partition leaves stale availability-list
+		// entries pointing at the far side, and negotiating with a node
+		// no path reaches is impossible.
+		if c.ID != from && e.nodes[c.ID].Alive() && e.satisfies(c.ID, t.Require) &&
+			e.graph.Dist(from, c.ID) >= 0 {
 			target = c.ID
 			break
 		}
@@ -502,9 +520,9 @@ func (e *Engine) tryMigrationN(now sim.Time, from topology.NodeID, t workload.Ta
 		e.stats.MessageUnits += e.cost.ControlUnits
 	}
 
-	dist := e.cfg.Graph.Dist(from, target)
+	dist := e.graph.Dist(from, target)
 	if dist < 0 {
-		dist = e.cfg.Graph.N() // disconnected overlay: worst-case latency
+		dist = e.graph.N() // can't happen (filter above); worst-case latency
 	}
 	delay := e.cfg.HopDelay * sim.Time(dist)
 	fromGen := e.gen[from]
@@ -630,6 +648,45 @@ func (e *Engine) Revive(id topology.NodeID) {
 	e.disco[id].Attach(e.envs[id])
 }
 
+// Graph returns the live topology view: cfg.Graph until the first link
+// mutation, a private clone afterwards. Callers must treat it as
+// read-only — mutate only through CutLink/RestoreLink so copy-on-write
+// and trace events stay intact.
+func (e *Engine) Graph() *topology.Graph { return e.graph }
+
+// mutableGraph returns a graph the engine may mutate, cloning the
+// (possibly shared) configured graph on first use.
+func (e *Engine) mutableGraph() *topology.Graph {
+	if !e.ownsGraph {
+		e.graph = e.graph.Clone()
+		e.ownsGraph = true
+	}
+	return e.graph
+}
+
+// CutLink severs an overlay link mid-run — the link-level analogue of
+// Kill. From this instant, floods and unicasts reroute over the
+// surviving links (longer per-hop latency) and deliveries to nodes left
+// unreachable are dropped and counted as partition drops. Idempotent;
+// reports whether the link existed.
+func (e *Engine) CutLink(a, b topology.NodeID) bool {
+	if !e.mutableGraph().CutLink(a, b) {
+		return false
+	}
+	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.LinkCut, Node: a, Peer: b})
+	return true
+}
+
+// RestoreLink heals an overlay link mid-run — the link-level analogue of
+// Revive. Idempotent; reports whether the link was absent.
+func (e *Engine) RestoreLink(a, b topology.NodeID) bool {
+	if !e.mutableGraph().RestoreLink(a, b) {
+		return false
+	}
+	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.LinkRestore, Node: a, Peer: b})
+	return true
+}
+
 // AliveCount returns how many nodes are currently up.
 func (e *Engine) AliveCount() int {
 	n := 0
@@ -723,9 +780,17 @@ func (v *nodeEnv) Unicast(to topology.NodeID, m protocol.Message) {
 
 func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
 	e := v.engine
-	dist := e.cfg.Graph.Dist(v.id, to)
+	dist := e.graph.Dist(v.id, to)
 	if dist < 0 {
-		return // unreachable in the overlay: message is lost
+		// Unreachable in the live overlay (link cut / partition): the
+		// message is lost. Counted separately from probabilistic loss so
+		// partition studies can report it.
+		if e.measuring(e.sched.Now()) {
+			e.stats.PartitionDrops++
+		}
+		e.trace(trace.Event{At: e.sched.Now(), Kind: trace.MsgDrop, Node: v.id, Peer: to,
+			Info: "partition"})
+		return
 	}
 	if e.cfg.LossProb > 0 && e.rnd.Bernoulli(e.cfg.LossProb) {
 		return // datagram lost in transit

@@ -32,9 +32,16 @@ func TestRunLossGracefulDegradation(t *testing.T) {
 
 func TestLossConfigValidation(t *testing.T) {
 	sc := DefaultSweep()
+	// LossProb == 1 is legal: a deliberate total blackout (see the
+	// engine's TestTotalBlackoutAdmissionHitsZero); only values outside
+	// [0, 1] are rejected.
 	sc.Engine.LossProb = 1.0
+	if err := sc.Engine.Validate(); err != nil {
+		t.Fatalf("loss=1 rejected: %v", err)
+	}
+	sc.Engine.LossProb = 1.1
 	if sc.Engine.Validate() == nil {
-		t.Fatal("loss=1 accepted")
+		t.Fatal("loss=1.1 accepted")
 	}
 	sc.Engine.LossProb = -0.1
 	if sc.Engine.Validate() == nil {

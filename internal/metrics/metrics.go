@@ -217,6 +217,12 @@ type RunStats struct {
 	AdvertMsgs   uint64  // push advertisement floods
 	ControlMsgs  uint64  // admission-negotiation unicasts
 	MessageUnits float64 // link-weighted total per the paper's cost model
+
+	// PartitionDrops counts protocol deliveries dropped because the
+	// destination was unreachable in the live overlay (link cuts /
+	// network partitions) — distinct from probabilistic LossProb drops,
+	// which model lossy links that still exist.
+	PartitionDrops uint64
 }
 
 // AdmissionProbability returns Admitted/Offered (paper Fig. 5's y-axis).
@@ -271,6 +277,7 @@ func (r *RunStats) Add(other RunStats) {
 	r.AdvertMsgs += other.AdvertMsgs
 	r.ControlMsgs += other.ControlMsgs
 	r.MessageUnits += other.MessageUnits
+	r.PartitionDrops += other.PartitionDrops
 }
 
 // Replication aggregates one scalar across independent replications.

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// leftCols returns a left-side predicate for a rows×cols mesh: true for
+// nodes in columns [0, col).
+func leftCols(cols, col int) func(NodeID) bool {
+	return func(id NodeID) bool { return int(id)%cols < col }
+}
+
+func TestCutLinkUpdatesDistances(t *testing.T) {
+	g := Mesh(3, 3) // ids: r*3+c
+	if d := g.Dist(0, 1); d != 1 {
+		t.Fatalf("dist(0,1)=%d before cut", d)
+	}
+	if !g.CutLink(0, 1) {
+		t.Fatal("CutLink(0,1) on an existing link returned false")
+	}
+	if g.CutLink(0, 1) {
+		t.Fatal("second CutLink(0,1) returned true")
+	}
+	if g.Links() != 11 {
+		t.Fatalf("links=%d after cut, want 11", g.Links())
+	}
+	// 0→1 now routes 0-3-4-1.
+	if d := g.Dist(0, 1); d != 3 {
+		t.Fatalf("dist(0,1)=%d after cut, want 3", d)
+	}
+	if !g.RestoreLink(0, 1) {
+		t.Fatal("RestoreLink(0,1) returned false")
+	}
+	if g.RestoreLink(0, 1) {
+		t.Fatal("second RestoreLink(0,1) returned true")
+	}
+	if d := g.Dist(0, 1); d != 1 {
+		t.Fatalf("dist(0,1)=%d after restore, want 1", d)
+	}
+	if g.Links() != 12 {
+		t.Fatalf("links=%d after restore, want 12", g.Links())
+	}
+}
+
+func TestBisectSplitsMeshIntoComponents(t *testing.T) {
+	g := Mesh(3, 3)
+	cut := g.Bisect(leftCols(3, 1)) // column 0 vs columns 1,2
+	want := [][2]NodeID{{0, 1}, {3, 4}, {6, 7}}
+	if !reflect.DeepEqual(cut, want) {
+		t.Fatalf("Bisect = %v, want %v", cut, want)
+	}
+	for _, l := range cut {
+		if !g.CutLink(l[0], l[1]) {
+			t.Fatalf("CutLink%v failed", l)
+		}
+	}
+	if g.Connected() {
+		t.Fatal("graph still connected after bisect")
+	}
+	if d := g.Dist(0, 1); d != -1 {
+		t.Fatalf("dist across partition = %d, want -1", d)
+	}
+	left := g.ComponentOf(0)
+	if !reflect.DeepEqual(left, []NodeID{0, 3, 6}) {
+		t.Fatalf("left component %v", left)
+	}
+	right := g.ComponentOf(4)
+	if !reflect.DeepEqual(right, []NodeID{1, 2, 4, 5, 7, 8}) {
+		t.Fatalf("right component %v", right)
+	}
+	comps := g.Components()
+	if len(comps) != 2 || !reflect.DeepEqual(comps[0], left) || !reflect.DeepEqual(comps[1], right) {
+		t.Fatalf("components %v", comps)
+	}
+	// Heal and verify full reconnection.
+	for _, l := range cut {
+		if !g.RestoreLink(l[0], l[1]) {
+			t.Fatalf("RestoreLink%v failed", l)
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("graph not reconnected after heal")
+	}
+	if got := g.Components(); len(got) != 1 || len(got[0]) != 9 {
+		t.Fatalf("components after heal: %v", got)
+	}
+}
+
+func TestLinkListEnumeratesSortedPairs(t *testing.T) {
+	g := Ring(4)
+	want := [][2]NodeID{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	if got := g.LinkList(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LinkList = %v, want %v", got, want)
+	}
+	g.CutLink(1, 2)
+	want = [][2]NodeID{{0, 1}, {0, 3}, {2, 3}}
+	if got := g.LinkList(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LinkList after cut = %v, want %v", got, want)
+	}
+}
+
+func TestCutLinkOnCloneLeavesOriginalIntact(t *testing.T) {
+	g := Mesh(5, 5)
+	c := g.Clone()
+	for _, l := range c.Bisect(leftCols(5, 2)) {
+		c.CutLink(l[0], l[1])
+	}
+	if g.Links() != 40 || !g.Connected() {
+		t.Fatalf("original mutated: links=%d connected=%v", g.Links(), g.Connected())
+	}
+	if c.Connected() {
+		t.Fatal("clone should be partitioned")
+	}
+}
+
+func TestCutLinkPanicsOutOfRange(t *testing.T) {
+	g := Mesh(2, 2)
+	for _, f := range []func(){
+		func() { g.CutLink(0, 0) },
+		func() { g.CutLink(-1, 1) },
+		func() { g.RestoreLink(0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -27,9 +27,12 @@ type NodeID int
 // Concurrency: path queries (Dist, Diameter, ...) are safe to call from
 // multiple goroutines — the lazily built distance cache sits behind an
 // atomic pointer, so the parallel experiment runner may share one Graph
-// across engines. Mutators (AddLink, RemoveNodeLinks) are NOT safe to
-// run concurrently with queries or each other; mutate only during
-// single-threaded setup or inside a single engine's event loop.
+// across engines. Mutators (AddLink, RemoveNodeLinks, CutLink,
+// RestoreLink) are NOT safe to run concurrently with queries or each
+// other; mutate only during single-threaded setup or inside a single
+// engine's event loop. The engine never mutates a shared graph: its
+// CutLink/RestoreLink copy-on-write a private clone first, so pristine
+// graphs shared across parallel experiment cells stay frozen.
 type Graph struct {
 	n     int
 	adj   [][]NodeID
@@ -105,6 +108,124 @@ func (g *Graph) RemoveNodeLinks(id NodeID) {
 	g.dist.Store(nil)
 }
 
+// CutLink severs the undirected link {a, b} mid-run, if present, and
+// reports whether anything changed. Unlike AddLink it does not panic on
+// a missing link: link-fault injectors race heals against cuts, and a
+// repeated cut is a no-op, not a bug. The immutable distance snapshot is
+// recomputed and atomically republished on every effective mutation, so
+// readers never observe a stale or half-built matrix — pairs split apart
+// report Dist == -1 from the instant the cut lands.
+func (g *Graph) CutLink(a, b NodeID) bool {
+	g.checkPair(a, b)
+	if !g.HasLink(a, b) {
+		return false
+	}
+	g.adj[a] = remove(g.adj[a], b)
+	g.adj[b] = remove(g.adj[b], a)
+	g.links--
+	g.dist.Store(g.computeDist())
+	return true
+}
+
+// RestoreLink re-inserts the undirected link {a, b} mid-run, if absent,
+// and reports whether anything changed. It is CutLink's inverse and
+// shares its idempotence and eager-snapshot semantics; it is also usable
+// to add genuinely new links to a running overlay (topology repair).
+func (g *Graph) RestoreLink(a, b NodeID) bool {
+	g.checkPair(a, b)
+	if g.HasLink(a, b) {
+		return false
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.links++
+	g.dist.Store(g.computeDist())
+	return true
+}
+
+func (g *Graph) checkPair(a, b NodeID) {
+	if a == b {
+		panic(fmt.Sprintf("topology: self-link at node %d", a))
+	}
+	if a < 0 || b < 0 || int(a) >= g.n || int(b) >= g.n {
+		panic(fmt.Sprintf("topology: link {%d,%d} out of range [0,%d)", a, b, g.n))
+	}
+}
+
+// ComponentOf returns the sorted IDs of every node reachable from id
+// (including id itself) — the connected component id sits in. On a
+// partitioned graph this identifies the side of the split.
+func (g *Graph) ComponentOf(id NodeID) []NodeID {
+	row := g.ensureDist().rows[id]
+	out := make([]NodeID, 0, g.n)
+	for j, d := range row {
+		if d >= 0 {
+			out = append(out, NodeID(j))
+		}
+	}
+	return out // rows are indexed ascending, so out is already sorted
+}
+
+// Components returns every connected component, each sorted ascending,
+// ordered by smallest member. A connected graph yields one component.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var out [][]NodeID
+	for i := 0; i < g.n; i++ {
+		if seen[i] {
+			continue
+		}
+		comp := g.ComponentOf(NodeID(i))
+		for _, v := range comp {
+			seen[v] = true
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// Bisect returns every link crossing the cut defined by left: links
+// {a, b} with left(a) != left(b), each ordered (smaller, larger) and the
+// list sorted — deterministic input for partition injectors, which cut
+// exactly these links to split the graph into the two sides.
+func (g *Graph) Bisect(left func(NodeID) bool) [][2]NodeID {
+	var out [][2]NodeID
+	for a := 0; a < g.n; a++ {
+		for _, b := range g.adj[a] {
+			if NodeID(a) < b && left(NodeID(a)) != left(b) {
+				out = append(out, [2]NodeID{NodeID(a), b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// LinkList returns every undirected link as an ordered (smaller, larger)
+// pair, sorted — a deterministic enumeration for seeded link-churn.
+func (g *Graph) LinkList() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.links)
+	for a := 0; a < g.n; a++ {
+		for _, b := range g.adj[a] {
+			if NodeID(a) < b {
+				out = append(out, [2]NodeID{NodeID(a), b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 func remove(s []NodeID, v NodeID) []NodeID {
 	out := s[:0]
 	for _, x := range s {
@@ -144,16 +265,23 @@ func (g *Graph) ensureDist() *distMatrix {
 	if m := g.dist.Load(); m != nil {
 		return m
 	}
+	m := g.computeDist()
+	if !g.dist.CompareAndSwap(nil, m) {
+		if prev := g.dist.Load(); prev != nil {
+			return prev
+		}
+	}
+	return m
+}
+
+// computeDist builds a fresh immutable all-pairs snapshot of the current
+// adjacency. CutLink/RestoreLink publish one eagerly per mutation.
+func (g *Graph) computeDist() *distMatrix {
 	m := &distMatrix{rows: make([][]int, g.n)}
 	backing := make([]int, g.n*g.n)
 	for i := 0; i < g.n; i++ {
 		m.rows[i] = backing[i*g.n : (i+1)*g.n]
 		g.bfs(NodeID(i), m.rows[i])
-	}
-	if !g.dist.CompareAndSwap(nil, m) {
-		if prev := g.dist.Load(); prev != nil {
-			return prev
-		}
 	}
 	return m
 }

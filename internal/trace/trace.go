@@ -32,6 +32,9 @@ const (
 	CrossDown   Kind = "cross-down"   // usage drained below the threshold
 	NodeKill    Kind = "node-kill"
 	NodeRevive  Kind = "node-revive"
+	LinkCut     Kind = "link-cut"     // overlay link Node—Peer severed
+	LinkRestore Kind = "link-restore" // overlay link Node—Peer healed
+	MsgDrop     Kind = "msg-drop"     // delivery dropped in flight (Info = cause)
 )
 
 // Event is one recorded occurrence. Peer is -1 when not applicable.
