@@ -1,7 +1,9 @@
 GO ?= go
-BENCH_JSON ?= BENCH_1.json
+BENCH_JSON ?= BENCH_2.json
+BENCH_BASELINE ?= BENCH_1.json
+PROFILE_FIG ?= 5
 
-.PHONY: all build vet fmt-check verify test race bench bench-json fuzz results quick-results clean
+.PHONY: all build vet fmt-check verify test race bench bench-json bench-compare profile fuzz results quick-results clean
 
 all: build vet test
 
@@ -37,6 +39,20 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . ./internal/sim > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# Per-benchmark deltas between the previous PR's committed baseline and
+# a fresh run of the current tree (written to $(BENCH_JSON) first).
+# cmd/benchdiff replaces benchstat here: CI has no network to install
+# it, and a single-sample delta against the pinned baseline is all this
+# check needs.
+bench-compare: bench-json
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(BENCH_JSON)
+
+# CPU+heap profile of one figure regeneration (override with
+# PROFILE_FIG=scale-large etc.); open with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/realtor-sim -fig $(PROFILE_FIG) -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof mem.pprof (go tool pprof cpu.pprof)"
 
 # Short fuzz pass over every fuzz target (stdlib fuzzing, no deps).
 fuzz:

@@ -143,6 +143,67 @@ func BenchmarkScaleOverhead(b *testing.B) {
 	b.ReportMetric(ratio, "units/node-ratio-49v16")
 }
 
+// BenchmarkScaleLarge runs one full 50×50 (2500-node) cell of the
+// large-mesh study per iteration — the size the paper's Section 5
+// multicast-group argument targets but its simulation never reaches.
+// Feasible only with the lazy per-row distance snapshots (an eager
+// all-pairs matrix at this size is 2500² ints rebuilt per fault) and
+// the stamp-BFS scope builder; reports admission and per-node overhead
+// so the system-size-independence claim is checked at depth, not just
+// at the 8×8 ceiling of BenchmarkScaleOverhead.
+func BenchmarkScaleLarge(b *testing.B) {
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+	st := experiment.ScaleLargeStudy{
+		Sides:         []int{50},
+		PerNodeLambda: 0.18,
+		Radius:        2,
+		Warmup:        20,
+		Duration:      200,
+	}
+	b.ReportAllocs()
+	var pt experiment.ScalePoint
+	for i := 0; i < b.N; i++ {
+		pt = experiment.RunScaleLarge(st, p, int64(i+1))[0]
+	}
+	b.ReportMetric(pt.Admission, "admission")
+	b.ReportMetric(pt.UnitsPerNodeSec, "units/node-sec")
+}
+
+// BenchmarkLinkChurnLarge measures fault handling at scale: a 2500-node
+// mesh under continuous random link churn (cut + heal every simulated
+// second). Each fault must republish a distance snapshot; the
+// incremental maintenance re-BFSes only the rows a fault can change, so
+// the full-rebuild counter reported here stays at 0 — the regression
+// this benchmark guards is an accidental return to rebuild-per-fault,
+// which at this size is ~2500 BFS passes per mutation.
+func BenchmarkLinkChurnLarge(b *testing.B) {
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+	b.ReportAllocs()
+	var full, rows float64
+	for i := 0; i < b.N; i++ {
+		g := topology.Mesh(50, 50)
+		cfg := engine.Config{
+			Graph:         g,
+			QueueCapacity: 100,
+			HopDelay:      0.01,
+			Threshold:     0.9,
+			FloodRadius:   2,
+			Warmup:        10,
+			Duration:      120,
+			Seed:          int64(i + 1),
+		}
+		e := engine.New(cfg, p.Build)
+		attack.LinkChurn{Start: 20, Until: 120, Interval: 1, Down: 5,
+			Seed: int64(i + 1)}.Apply(e)
+		e.Run(workload.NewPoisson(0.18*2500, 5, 2500, rng.New(int64(i+1))))
+		st := g.DistStats()
+		full = float64(st.FullBuilds)
+		rows = float64(st.RowBuilds)
+	}
+	b.ReportMetric(full, "full-rebuilds")
+	b.ReportMetric(rows, "row-builds")
+}
+
 // BenchmarkAblationAlphaBeta runs the A3 extension: one α/β cell of the
 // Algorithm H sensitivity study per iteration.
 func BenchmarkAblationAlphaBeta(b *testing.B) {

@@ -1,0 +1,189 @@
+// Command benchdiff compares two `go test -bench -json` (test2json)
+// capture files, such as the committed BENCH_*.json baselines, and
+// prints per-benchmark deltas for ns/op, B/op and allocs/op.
+//
+// It exists because this repository pins its benchmark history as
+// test2json files and CI has no network access to fetch benchstat; the
+// comparison needed here — "did the PR move the committed baselines?" —
+// is a straight single-sample delta, not a statistical test.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	make bench-compare            # current tree vs committed baseline
+//
+// Exit status is 0 even when benchmarks regress: the tool reports,
+// humans judge. Benchmarks present in only one file are listed but not
+// compared.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics holds the standard testing.B outputs for one benchmark.
+// A NaN-free zero value means "not reported" (checked via the has map).
+type metrics struct {
+	vals map[string]float64 // unit → value, e.g. "ns/op" → 123.4
+}
+
+// event is the subset of the test2json stream we care about.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseFile reads a test2json capture and returns unit values keyed by
+// benchmark name. Result lines may be split across several output
+// events (test2json flushes on writes, not lines), so all output is
+// concatenated before line-splitting.
+func parseFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	res := map[string]metrics{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		name, m, ok := parseBenchLine(line)
+		if ok {
+			res[name] = m
+		}
+	}
+	return res, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-N  iters  v unit  v unit…"
+// result line. Lines that merely echo the benchmark name (=== RUN etc.)
+// have no value/unit pairs and are rejected.
+func parseBenchLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", metrics{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", metrics{}, false // second field must be the iteration count
+	}
+	name := strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", cpuSuffix(fields[0])))
+	m := metrics{vals: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", metrics{}, false
+		}
+		m.vals[fields[i+1]] = v
+	}
+	if len(m.vals) == 0 {
+		return "", metrics{}, false
+	}
+	return name, m, true
+}
+
+// cpuSuffix extracts the numeric -N GOMAXPROCS suffix, or 0 if none.
+func cpuSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldM, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newM, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := map[string]bool{}
+	for n := range oldM {
+		names[n] = true
+	}
+	for n := range newM {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("# %s -> %s\n", os.Args[1], os.Args[2])
+	for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+		fmt.Printf("\n%-44s %14s %14s %8s\n", unit, "old", "new", "delta")
+		for _, n := range sorted {
+			o, oky := oldM[n]
+			w, nky := newM[n]
+			switch {
+			case oky && nky:
+				ov, ook := o.vals[unit]
+				nv, nok := w.vals[unit]
+				if !ook || !nok {
+					continue
+				}
+				fmt.Printf("%-44s %14s %14s %8s\n", n, fmtVal(ov), fmtVal(nv), fmtDelta(ov, nv))
+			case unit == "ns/op" && !oky:
+				fmt.Printf("%-44s %14s %14s %8s\n", n, "-", "(new)", "")
+			case unit == "ns/op" && !nky:
+				fmt.Printf("%-44s %14s %14s %8s\n", n, "(gone)", "-", "")
+			}
+		}
+	}
+}
+
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+func fmtDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "0.0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+}

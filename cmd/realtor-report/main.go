@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,14 +32,53 @@ import (
 	"realtor/internal/transportfactory"
 )
 
+// startProfiles begins CPU profiling (if cpu is non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// (if mem is non-empty). Mirrors the helper in cmd/realtor-sim.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "shorter runs")
 	seed := flag.Int64("seed", 1, "base seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for independent simulator runs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	experiment.SetParallelism(*parallel)
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "realtor-report:", err)
@@ -110,6 +150,19 @@ func main() {
 			"# A2 (b) 2-hop scoped floods:\n"+
 			experiment.ScaleTable(experiment.RunScale([]int{3, 4, 5, 6, 7, 8}, 0.18, 2,
 				protos[4], *seed)))
+
+	slst := experiment.DefaultScaleLarge()
+	if *quick {
+		slst.Sides = []int{10, 20}
+		slst.Warmup = 15
+		slst.Duration = 150
+	}
+	write("scale_large.txt", fmt.Sprintf(
+		"# A2 (c) large meshes up to %dx%d, per-node load %g tasks/s,\n"+
+			"# floods scoped to a %d-hop group, duration=%gs\n%s",
+		slst.Sides[len(slst.Sides)-1], slst.Sides[len(slst.Sides)-1],
+		slst.PerNodeLambda, slst.Radius, float64(slst.Duration),
+		experiment.ScaleTable(experiment.RunScaleLarge(slst, protos[4], *seed))))
 
 	write("ablation.txt", "# A3 Algorithm H alpha/beta at λ=7\n"+
 		experiment.AblationTable(experiment.RunAlphaBeta(

@@ -10,6 +10,7 @@
 //	realtor-sim -fig 8                  # migration rate vs λ
 //	realtor-sim -fig all                # figures 5-8 in one sweep
 //	realtor-sim -fig scale              # per-node overhead vs system size
+//	realtor-sim -fig scale-large        # large meshes, up to 50x50 (2500 nodes)
 //	realtor-sim -fig ab                 # Algorithm H α/β ablation
 //	realtor-sim -fig fed                # inter-group federation (future work)
 //	realtor-sim -fig sec                # security-constrained placement under attack
@@ -22,6 +23,8 @@
 //	realtor-sim -duration 5000 -reps 5  # longer, tighter runs
 //	realtor-sim -parallel 8             # 8 worker goroutines (default GOMAXPROCS)
 //	realtor-sim -parallel 1             # sequential reference run (same output)
+//	realtor-sim -cpuprofile cpu.pprof   # profile the run (go tool pprof cpu.pprof)
+//	realtor-sim -memprofile mem.pprof   # heap profile written at exit
 //
 // Independent simulation cells fan out across -parallel workers; results
 // are collected by index, so the output is byte-identical for any worker
@@ -33,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -41,8 +45,45 @@ import (
 	"realtor/internal/sim"
 )
 
+// startProfiles begins CPU profiling (if cpu is non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// (if mem is non-empty). Call the stop function exactly once, after the
+// workload. Shared by realtor-sim and realtor-report via copy — the two
+// commands have no common non-library package.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}
+
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|ab|fed|sec|loss|gossip|retries|community|partition")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|scale-large|ab|fed|sec|loss|gossip|retries|community|partition")
 	duration := flag.Float64("duration", 2200, "simulated seconds per run")
 	reps := flag.Int("reps", 3, "independent replications per point")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -52,14 +93,20 @@ func main() {
 	lambdas := flag.String("lambdas", "1,2,3,4,5,6,7,8,9,10", "comma-separated task arrival rates")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for independent runs (output is identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	experiment.SetParallelism(*parallel)
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	switch *fig {
 	case "5", "6", "7", "8", "all":
 		runFigures(*fig, *lambdas, *duration, *reps, *seed, *csv, *asPlot, *diff)
 	case "scale":
 		runScale(*seed)
+	case "scale-large":
+		runScaleLarge(*seed)
 	case "ab":
 		runAblation(*seed)
 	case "fed":
@@ -150,6 +197,17 @@ func runScale(seed int64) {
 	fmt.Println("# (b) floods scoped to a 2-hop multicast group (the mechanism")
 	fmt.Println("#     Section 5 assumes for larger systems):")
 	fmt.Print(experiment.ScaleTable(experiment.RunScale(sizes, 0.18, 2, p, seed)))
+}
+
+func runScaleLarge(seed int64) {
+	st := experiment.DefaultScaleLarge()
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4] // REALTOR
+	fmt.Println("# Large-mesh scalability: REALTOR on square meshes up to 50x50")
+	fmt.Printf("# (2500 nodes), fixed per-node load %g tasks/s, floods scoped to\n", st.PerNodeLambda)
+	fmt.Printf("# a %d-hop multicast group. Feasible at this size because distance\n", st.Radius)
+	fmt.Println("# rows are built lazily per source and link faults re-BFS only the")
+	fmt.Println("# rows they can change (see DESIGN.md, incremental distances).")
+	fmt.Print(experiment.ScaleTable(experiment.RunScaleLarge(st, p, seed)))
 }
 
 func runFederation(seed int64) {

@@ -10,8 +10,6 @@
 package core
 
 import (
-	"sort"
-
 	"realtor/internal/protocol"
 	"realtor/internal/sim"
 	"realtor/internal/topology"
@@ -39,7 +37,8 @@ type HelpGovernor struct {
 	lastSent sim.Time
 	sentAny  bool
 
-	timer protocol.Timer
+	timer     protocol.Timer
+	timeoutFn func() // cached method value: no per-arming closure alloc
 
 	helps     uint64
 	penalties uint64
@@ -51,7 +50,9 @@ func NewHelpGovernor(cfg protocol.Config) *HelpGovernor {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &HelpGovernor{cfg: cfg, interval: cfg.HelpInit}
+	g := &HelpGovernor{cfg: cfg, interval: cfg.HelpInit}
+	g.timeoutFn = g.onTimeout
+	return g
 }
 
 // Attach binds the governor to its node environment.
@@ -76,10 +77,18 @@ func (g *HelpGovernor) WouldExceed(size float64) bool {
 	return backlog+size > g.cfg.Threshold*g.env.Capacity()
 }
 
-// MaybeHelp floods a HELP if the trigger condition holds and at least
+// HelpBuilder constructs the HELP message lazily, only when the governor
+// actually decides to send. Protocols implement it on their instance so
+// the per-arrival hot path passes an existing object instead of
+// allocating a fresh closure for every task arrival.
+type HelpBuilder interface {
+	BuildHelp(size float64) protocol.Message
+}
+
+// MaybeHelpFor floods a HELP if the trigger condition holds and at least
 // HELP_interval has elapsed since the last HELP. It reports whether a
-// HELP was sent. build constructs the message lazily, only when sending.
-func (g *HelpGovernor) MaybeHelp(size float64, build func() protocol.Message) bool {
+// HELP was sent.
+func (g *HelpGovernor) MaybeHelpFor(size float64, b HelpBuilder) bool {
 	if !g.WouldExceed(size) {
 		return false
 	}
@@ -87,7 +96,7 @@ func (g *HelpGovernor) MaybeHelp(size float64, build func() protocol.Message) bo
 	if g.sentAny && now-g.lastSent <= g.interval {
 		return false
 	}
-	g.env.Flood(build())
+	g.env.Flood(b.BuildHelp(size))
 	g.lastSent = now
 	g.sentAny = true
 	g.helps++
@@ -95,11 +104,27 @@ func (g *HelpGovernor) MaybeHelp(size float64, build func() protocol.Message) bo
 	return true
 }
 
+// funcBuilder adapts a plain closure to HelpBuilder for MaybeHelp.
+type funcBuilder func() protocol.Message
+
+func (f funcBuilder) BuildHelp(float64) protocol.Message { return f() }
+
+// MaybeHelp is MaybeHelpFor with a plain closure, kept for tests and
+// callers off the hot path.
+func (g *HelpGovernor) MaybeHelp(size float64, build func() protocol.Message) bool {
+	return g.MaybeHelpFor(size, funcBuilder(build))
+}
+
 func (g *HelpGovernor) armTimer() {
 	if g.timer != nil {
+		// Re-arm in place when the Env supports it: one timer object per
+		// governor instead of one per pledge burst.
+		if rt, ok := g.timer.(protocol.ResettableTimer); ok && rt.Reset(g.cfg.PledgeWait) {
+			return
+		}
 		g.timer.Stop()
 	}
-	g.timer = g.env.After(g.cfg.PledgeWait, g.onTimeout)
+	g.timer = g.env.After(g.cfg.PledgeWait, g.timeoutFn)
 }
 
 func (g *HelpGovernor) onTimeout() {
@@ -148,6 +173,13 @@ func (g *HelpGovernor) Stop() {
 	}
 }
 
+// membership is one community this node belongs to: the organizer and
+// the membership's soft-state expiry.
+type membership struct {
+	org    topology.NodeID
+	expiry sim.Time
+}
+
 // Realtor is the full protocol: Algorithm H as community organizer plus
 // Algorithm P as community member.
 type Realtor struct {
@@ -158,15 +190,19 @@ type Realtor struct {
 	// Organizer side: availability list built from pledges.
 	list *protocol.PledgeList
 
-	// Member side: communities this node belongs to, keyed by organizer,
-	// valued by membership expiry time. Soft state — never persisted,
-	// refreshed by replying to HELPs.
-	memberOf map[topology.NodeID]sim.Time
+	// Member side: communities this node belongs to, kept sorted by
+	// ascending organizer ID at update time. Soft state — never
+	// persisted, refreshed by replying to HELPs. The sort-at-update
+	// discipline is what lets OnUsageCrossing emit its pledge unicasts in
+	// deterministic organizer order without sorting (or allocating) on
+	// every threshold crossing.
+	members []membership
 
 	dead bool
 }
 
 var _ protocol.Discovery = (*Realtor)(nil)
+var _ HelpBuilder = (*Realtor)(nil)
 
 // New returns a REALTOR instance with the given configuration.
 func New(cfg protocol.Config) *Realtor {
@@ -174,10 +210,9 @@ func New(cfg protocol.Config) *Realtor {
 		panic(err)
 	}
 	return &Realtor{
-		cfg:      cfg,
-		gov:      NewHelpGovernor(cfg),
-		list:     protocol.NewPledgeList(cfg.EntryTTL),
-		memberOf: make(map[topology.NodeID]sim.Time),
+		cfg:  cfg,
+		gov:  NewHelpGovernor(cfg),
+		list: protocol.NewPledgeList(cfg.EntryTTL),
 	}
 }
 
@@ -195,14 +230,18 @@ func (r *Realtor) OnArrival(size float64) {
 	if r.dead {
 		return
 	}
-	r.gov.MaybeHelp(size, func() protocol.Message {
-		return protocol.Message{
-			Kind:    protocol.Help,
-			From:    r.env.Self(),
-			Members: r.list.Len(r.env.Now()),
-			Demand:  size,
-		}
-	})
+	r.gov.MaybeHelpFor(size, r)
+}
+
+// BuildHelp constructs the HELP flood payload; called by the governor
+// only when it decides to send.
+func (r *Realtor) BuildHelp(size float64) protocol.Message {
+	return protocol.Message{
+		Kind:    protocol.Help,
+		From:    r.env.Self(),
+		Members: r.list.Len(r.env.Now()),
+		Demand:  size,
+	}
 }
 
 // OnUsageCrossing runs Algorithm P's member-side spontaneous pledges:
@@ -211,7 +250,7 @@ func (r *Realtor) OnArrival(size float64) {
 // threshold level". A rising crossing retracts availability (headroom 0);
 // a falling one re-advertises current headroom.
 func (r *Realtor) OnUsageCrossing(rising bool) {
-	if r.dead || len(r.memberOf) == 0 {
+	if r.dead || len(r.members) == 0 {
 		return
 	}
 	now := r.env.Now()
@@ -219,28 +258,61 @@ func (r *Realtor) OnUsageCrossing(rising bool) {
 	if rising {
 		headroom = 0
 	}
-	// Purge first, then pledge in ascending organizer order: iterating
-	// the map directly would emit the unicasts in Go's randomized map
-	// order, which reorders the engine's loss-rng draws and made runs
-	// with LossProb > 0 non-reproducible across processes.
-	orgs := make([]topology.NodeID, 0, len(r.memberOf))
-	for org, expiry := range r.memberOf {
-		if expiry < now {
-			delete(r.memberOf, org)
-			continue
-		}
-		orgs = append(orgs, org)
-	}
-	sort.Slice(orgs, func(i, j int) bool { return orgs[i] < orgs[j] })
-	for _, org := range orgs {
-		r.env.Unicast(org, protocol.Message{
+	// The members slice is maintained sorted by organizer ID at
+	// membership-update time, so the unicasts go out in ascending
+	// organizer order — the deterministic order the engine's loss-RNG
+	// draws depend on — with no per-crossing sort or allocation.
+	r.purgeMemberships(now)
+	for _, m := range r.members {
+		r.env.Unicast(m.org, protocol.Message{
 			Kind:        protocol.Pledge,
 			From:        r.env.Self(),
 			Headroom:    headroom,
-			Communities: len(r.memberOf),
+			Communities: len(r.members),
 			Grant:       r.grantProbability(),
 		})
 	}
+}
+
+// purgeMemberships drops expired memberships, compacting in place (the
+// ascending-organizer order is preserved).
+func (r *Realtor) purgeMemberships(now sim.Time) {
+	k := 0
+	for _, m := range r.members {
+		if m.expiry >= now {
+			r.members[k] = m
+			k++
+		}
+	}
+	r.members = r.members[:k]
+}
+
+// findMembership returns the index of org's membership in the sorted
+// slice, or the insertion point with found=false.
+func (r *Realtor) findMembership(org topology.NodeID) (int, bool) {
+	lo, hi := 0, len(r.members)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.members[mid].org < org {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(r.members) && r.members[lo].org == org
+}
+
+// setMembership records (or refreshes) a membership, keeping the slice
+// sorted by organizer ID.
+func (r *Realtor) setMembership(org topology.NodeID, expiry sim.Time) {
+	i, ok := r.findMembership(org)
+	if ok {
+		r.members[i].expiry = expiry
+		return
+	}
+	r.members = append(r.members, membership{})
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = membership{org: org, expiry: expiry}
 }
 
 // mayJoin reports whether this node may (re-)join org's community at
@@ -248,15 +320,11 @@ func (r *Realtor) OnUsageCrossing(rising bool) {
 // take a new one only below the membership cap. Expired memberships are
 // purged first so they do not hold slots.
 func (r *Realtor) mayJoin(org topology.NodeID, now sim.Time) bool {
-	for o, expiry := range r.memberOf {
-		if expiry < now {
-			delete(r.memberOf, o)
-		}
-	}
-	if _, ok := r.memberOf[org]; ok {
+	r.purgeMemberships(now)
+	if _, ok := r.findMembership(org); ok {
 		return true
 	}
-	return r.cfg.MaxMemberships == 0 || len(r.memberOf) < r.cfg.MaxMemberships
+	return r.cfg.MaxMemberships == 0 || len(r.members) < r.cfg.MaxMemberships
 }
 
 // grantProbability estimates the chance this node admits a request: with
@@ -285,13 +353,13 @@ func (r *Realtor) Deliver(m protocol.Message) {
 		// the system rather than all of it.
 		if r.env.Usage() < r.cfg.Threshold {
 			if r.mayJoin(m.From, now) {
-				r.memberOf[m.From] = now + r.cfg.MembershipTTL
+				r.setMembership(m.From, now+r.cfg.MembershipTTL)
 			}
 			r.env.Unicast(m.From, protocol.Message{
 				Kind:        protocol.Pledge,
 				From:        r.env.Self(),
 				Headroom:    r.env.Headroom(),
-				Communities: len(r.memberOf),
+				Communities: len(r.members),
 				Grant:       r.grantProbability(),
 			})
 		}
@@ -338,7 +406,7 @@ func (r *Realtor) OnMigrationOutcome(target topology.NodeID, size float64, succe
 func (r *Realtor) OnNodeDeath() {
 	r.dead = true
 	r.gov.Stop()
-	r.memberOf = make(map[topology.NodeID]sim.Time)
+	r.members = r.members[:0]
 	r.list = protocol.NewPledgeList(r.cfg.EntryTTL)
 }
 
@@ -349,15 +417,8 @@ func (r *Realtor) Memberships() int {
 	if r.env != nil {
 		now = r.env.Now()
 	}
-	n := 0
-	for org, expiry := range r.memberOf {
-		if expiry >= now {
-			n++
-		} else {
-			delete(r.memberOf, org)
-		}
-	}
-	return n
+	r.purgeMemberships(now)
+	return len(r.members)
 }
 
 // Governor exposes the Algorithm H state for tests and ablations.

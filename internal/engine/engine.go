@@ -8,6 +8,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"realtor/internal/metrics"
 	"realtor/internal/node"
@@ -156,12 +157,15 @@ type Engine struct {
 	stats metrics.RunStats
 
 	// crossing detection state per node
-	above    []bool
-	crossEvs []sim.Event
+	above     []bool
+	crossEvs  []sim.Event
+	crossings []crossing // one persistent downward-crossing runner per node
 
-	// hot-path runner pools: recycled message deliveries and the single
-	// reusable arrival event (at most one arrival is pending at a time).
+	// hot-path runner pools: recycled message deliveries, recycled
+	// in-flight migrations, and the single reusable arrival event (at
+	// most one arrival is pending at a time).
 	freeDeliveries *delivery
+	freeMigrations *migration
 	arrival        *arrival
 
 	// generation per node: bumped on kill so stale timers no-op
@@ -201,20 +205,25 @@ func New(cfg Config, build Builder) *Engine {
 	}
 	n := cfg.Graph.N()
 	e := &Engine{
-		cfg:      cfg,
-		graph:    cfg.Graph,
-		sched:    sim.New(),
-		cost:     protocol.NewCostModel(cfg.Graph),
-		nodes:    make([]*node.Node, n),
-		disco:    make([]protocol.Discovery, n),
-		envs:     make([]*nodeEnv, n),
-		build:    build,
-		rnd:      rng.New(cfg.Seed).Derive("engine"),
-		above:    make([]bool, n),
-		crossEvs: make([]sim.Event, n),
-		gen:      make([]int, n),
+		cfg:   cfg,
+		graph: cfg.Graph,
+		// Pending events scale with node count (in-flight deliveries,
+		// per-node timers and crossing events); the hint absorbs the
+		// ramp-up regrowth without a measurable footprint for small runs.
+		sched:     sim.NewScheduler(8 * n),
+		cost:      protocol.NewCostModel(cfg.Graph),
+		nodes:     make([]*node.Node, n),
+		disco:     make([]protocol.Discovery, n),
+		envs:      make([]*nodeEnv, n),
+		build:     build,
+		rnd:       rng.New(cfg.Seed).Derive("engine"),
+		above:     make([]bool, n),
+		crossEvs:  make([]sim.Event, n),
+		crossings: make([]crossing, n),
+		gen:       make([]int, n),
 	}
 	for i := 0; i < n; i++ {
+		e.crossings[i] = crossing{e: e, id: topology.NodeID(i)}
 		capacity := cfg.QueueCapacity
 		if cfg.Capacities != nil && cfg.Capacities[i] > 0 {
 			capacity = cfg.Capacities[i]
@@ -265,32 +274,57 @@ func (e *Engine) buildGroupScopes() {
 // buildScopes precomputes, for each node, the multicast-group members
 // (nodes within FloodRadius hops) and the scoped flood cost (links of the
 // induced subgraph — the links a radius-bounded flood actually crosses).
+//
+// It runs a radius-bounded BFS per source over a stamped visited array
+// instead of querying the all-pairs distance matrix: cost O(N · |scope|)
+// with no per-source map and — critically for large meshes — no N²
+// matrix materialization just to set up scopes.
 func (e *Engine) buildScopes() {
 	n := e.cfg.Graph.N()
 	r := e.cfg.FloodRadius
 	e.scope = make([][]topology.NodeID, n)
 	e.scopeCost = make([]float64, n)
+	stamp := make([]int, n) // stamp[v] == cur ⇔ v is in the current scope
+	depth := make([]int, n)
+	queue := make([]topology.NodeID, 0, 64)
 	for i := 0; i < n; i++ {
 		src := topology.NodeID(i)
-		inScope := make(map[topology.NodeID]bool, n)
-		for j := 0; j < n; j++ {
-			d := e.cfg.Graph.Dist(src, topology.NodeID(j))
-			if d >= 0 && d <= r {
-				inScope[topology.NodeID(j)] = true
-				if j != i {
-					e.scope[i] = append(e.scope[i], topology.NodeID(j))
+		cur := i + 1 // unique per source; zero value means "unvisited"
+		queue = append(queue[:0], src)
+		stamp[src], depth[src] = cur, 0
+		members := []topology.NodeID{src}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if depth[u] == r {
+				continue
+			}
+			for _, nb := range e.cfg.Graph.Neighbors(u) {
+				if stamp[nb] != cur {
+					stamp[nb], depth[nb] = cur, depth[u]+1
+					queue = append(queue, nb)
+					members = append(members, nb)
 				}
 			}
 		}
+		// Deliveries must go out in ascending node ID — the deterministic
+		// order every downstream loss-RNG draw depends on.
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
 		links := 0
-		for m := range inScope {
+		for _, m := range members {
 			for _, nb := range e.cfg.Graph.Neighbors(m) {
-				if inScope[nb] && m < nb {
+				if stamp[nb] == cur && m < nb {
 					links++
 				}
 			}
 		}
 		e.scopeCost[i] = float64(links)
+		scope := make([]topology.NodeID, 0, len(members)-1)
+		for _, m := range members {
+			if m != src {
+				scope = append(scope, m)
+			}
+		}
+		e.scope[i] = scope
 	}
 }
 
@@ -525,55 +559,93 @@ func (e *Engine) tryMigrationN(now sim.Time, from topology.NodeID, t workload.Ta
 		dist = e.graph.N() // can't happen (filter above); worst-case latency
 	}
 	delay := e.cfg.HopDelay * sim.Time(dist)
-	fromGen := e.gen[from]
-	arrivedAt := now // bin by arrival time, not completion time
-	e.sched.After(delay, func(arr sim.Time) {
-		// Re-check attributes at acceptance time: a security downgrade
-		// during the transfer voids the placement.
-		ok := e.nodes[target].Alive() && e.satisfies(target, t.Require) &&
-			e.nodes[target].Accept(arr, t.Size)
-		if ok {
-			if measured {
-				e.stats.Admitted++
-				e.stats.Migrated++
-			}
-			if b := e.binFor(arrivedAt); b != nil {
-				b.Admitted++
-			}
-			e.trace(trace.Event{At: arr, Kind: trace.MigrateOK, Node: from, Peer: target, Size: t.Size})
-			e.afterAccept(arr, target)
-		} else {
-			if measured {
-				e.stats.MigrateFail++
-			}
-			e.trace(trace.Event{At: arr, Kind: trace.MigrateFail, Node: from, Peer: target, Size: t.Size})
-		}
-		// Tell the origin's protocol — unless the origin died meanwhile.
-		// A failed try evicts the stale candidate, so the retry below
-		// naturally walks to the next node in the list.
-		originUp := e.gen[from] == fromGen && e.nodes[from].Alive()
-		if originUp {
-			e.disco[from].OnMigrationOutcome(target, t.Size, ok)
-		}
-		if ok {
-			e.outcome(t, true)
-			return
-		}
-		maxTries := e.cfg.MaxTries
-		if maxTries <= 0 {
-			maxTries = 1
-		}
-		if originUp && attempt < maxTries {
-			e.tryMigrationN(arr, from, t, measured, attempt+1)
-			return
-		}
+
+	// Schedule the transfer completion on a pooled runner: migrations are
+	// the second-hottest event class after deliveries, and the closure
+	// this used to allocate per try dominated the sweep's per-cell
+	// allocation count.
+	mg := e.freeMigrations
+	if mg == nil {
+		mg = &migration{e: e}
+	} else {
+		e.freeMigrations = mg.next
+	}
+	mg.from, mg.target, mg.task = from, target, t
+	mg.measured, mg.attempt = measured, attempt
+	mg.fromGen = e.gen[from]
+	mg.arrivedAt = now // bin by arrival time, not completion time
+	e.sched.AfterRunner(delay, mg)
+}
+
+// migration is a pooled sim.Runner carrying one in-flight migration try;
+// recycled through the engine's free list like delivery.
+type migration struct {
+	e         *Engine
+	from      topology.NodeID
+	target    topology.NodeID
+	task      workload.Task
+	measured  bool
+	attempt   int
+	fromGen   int
+	arrivedAt sim.Time
+	next      *migration // free-list link
+}
+
+// Fire implements sim.Runner: complete the transfer at the destination
+// and report the outcome. The runner returns itself to the pool first —
+// a retry may recursively acquire a fresh one.
+func (mg *migration) Fire(arr sim.Time) {
+	e, from, target, t := mg.e, mg.from, mg.target, mg.task
+	measured, attempt, fromGen, arrivedAt := mg.measured, mg.attempt, mg.fromGen, mg.arrivedAt
+	mg.task = workload.Task{}
+	mg.next = e.freeMigrations
+	e.freeMigrations = mg
+
+	// Re-check attributes at acceptance time: a security downgrade
+	// during the transfer voids the placement.
+	ok := e.nodes[target].Alive() && e.satisfies(target, t.Require) &&
+		e.nodes[target].Accept(arr, t.Size)
+	if ok {
 		if measured {
-			e.stats.Rejected++
+			e.stats.Admitted++
+			e.stats.Migrated++
 		}
-		e.trace(trace.Event{At: arr, Kind: trace.Reject, Node: from, Peer: -1,
-			Size: t.Size, Info: "tries-exhausted"})
-		e.outcome(t, false)
-	})
+		if b := e.binFor(arrivedAt); b != nil {
+			b.Admitted++
+		}
+		e.trace(trace.Event{At: arr, Kind: trace.MigrateOK, Node: from, Peer: target, Size: t.Size})
+		e.afterAccept(arr, target)
+	} else {
+		if measured {
+			e.stats.MigrateFail++
+		}
+		e.trace(trace.Event{At: arr, Kind: trace.MigrateFail, Node: from, Peer: target, Size: t.Size})
+	}
+	// Tell the origin's protocol — unless the origin died meanwhile.
+	// A failed try evicts the stale candidate, so the retry below
+	// naturally walks to the next node in the list.
+	originUp := e.gen[from] == fromGen && e.nodes[from].Alive()
+	if originUp {
+		e.disco[from].OnMigrationOutcome(target, t.Size, ok)
+	}
+	if ok {
+		e.outcome(t, true)
+		return
+	}
+	maxTries := e.cfg.MaxTries
+	if maxTries <= 0 {
+		maxTries = 1
+	}
+	if originUp && attempt < maxTries {
+		e.tryMigrationN(arr, from, t, measured, attempt+1)
+		return
+	}
+	if measured {
+		e.stats.Rejected++
+	}
+	e.trace(trace.Event{At: arr, Kind: trace.Reject, Node: from, Peer: -1,
+		Size: t.Size, Info: "tries-exhausted"})
+	e.outcome(t, false)
 }
 
 func (e *Engine) randomAlive() (topology.NodeID, bool) {
@@ -607,17 +679,32 @@ func (e *Engine) afterAccept(now sim.Time, id topology.NodeID) {
 	// (Re)schedule the downward crossing; any previously scheduled one is
 	// stale because the backlog just grew. Cancel is a generation-checked
 	// no-op on fired or zero handles, so no liveness check is needed.
+	// Each node has exactly one pending downward crossing at a time, so a
+	// single persistent runner per node replaces the per-accept closure.
 	e.sched.Cancel(e.crossEvs[id])
-	gen := e.gen[id]
-	e.crossEvs[id] = e.sched.After(sim.Time(backlog-thr), func(at sim.Time) {
-		e.crossEvs[id] = sim.Event{}
-		if e.gen[id] != gen || !e.nodes[id].Alive() || !e.above[id] {
-			return
-		}
-		e.above[id] = false
-		e.trace(trace.Event{At: at, Kind: trace.CrossDown, Node: id, Peer: -1})
-		e.disco[id].OnUsageCrossing(false)
-	})
+	c := &e.crossings[id]
+	c.gen = e.gen[id]
+	e.crossEvs[id] = e.sched.AfterRunner(sim.Time(backlog-thr), c)
+}
+
+// crossing is the per-node downward-crossing runner: it fires when the
+// queue drains back to the threshold level.
+type crossing struct {
+	e   *Engine
+	id  topology.NodeID
+	gen int // node generation at scheduling time; stale after Kill
+}
+
+// Fire implements sim.Runner.
+func (c *crossing) Fire(at sim.Time) {
+	e, id := c.e, c.id
+	e.crossEvs[id] = sim.Event{}
+	if e.gen[id] != c.gen || !e.nodes[id].Alive() || !e.above[id] {
+		return
+	}
+	e.above[id] = false
+	e.trace(trace.Event{At: at, Kind: trace.CrossDown, Node: id, Peer: -1})
+	e.disco[id].OnUsageCrossing(false)
 }
 
 // Kill takes a node down: its queue is discarded, its protocol state is
@@ -859,3 +946,21 @@ func (t *simTimer) Fire(sim.Time) {
 }
 
 func (t *simTimer) Stop() { t.e.sched.Cancel(t.ev) }
+
+// Reset implements protocol.ResettableTimer: re-arm this timer d seconds
+// from now with its original callback, reusing the allocation. It
+// performs the same scheduler operations (one Cancel, one schedule) as
+// the Stop+After sequence it replaces, so event sequence numbers — and
+// with them deterministic replay — are unchanged. It reports false when
+// the timer belongs to a dead node incarnation; the caller then falls
+// back to Env.After.
+func (t *simTimer) Reset(d sim.Time) bool {
+	if t.e.gen[t.id] != t.gen || !t.e.nodes[t.id].Alive() {
+		return false
+	}
+	t.e.sched.Cancel(t.ev)
+	t.ev = t.e.sched.AfterRunner(d, t)
+	return true
+}
+
+var _ protocol.ResettableTimer = (*simTimer)(nil)

@@ -64,6 +64,36 @@ func TestStudiesDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
+// The large-mesh study must share the determinism contract of every
+// other study: identical ScalePoints at any worker count. (The 2500-node
+// cell itself is exercised by BenchmarkScaleLarge; here small sides keep
+// the test fast while covering the same code path.)
+func TestRunScaleLargeDeterministicUnderParallelism(t *testing.T) {
+	st := ScaleLargeStudy{
+		Sides:         []int{4, 6},
+		PerNodeLambda: 0.18,
+		Radius:        2,
+		Warmup:        20,
+		Duration:      120,
+	}
+	p := StandardProtocols(protocolDefault())[4]
+	defer SetParallelism(SetParallelism(1))
+	s1 := RunScaleLarge(st, p, 3)
+	SetParallelism(8)
+	s8 := RunScaleLarge(st, p, 3)
+	if !reflect.DeepEqual(s1, s8) {
+		t.Errorf("RunScaleLarge differs between 1 and 8 workers: %v vs %v", s1, s8)
+	}
+	if s1[0].Nodes != 16 || s1[1].Nodes != 36 {
+		t.Fatalf("unexpected sizes: %+v", s1)
+	}
+	for _, pt := range s1 {
+		if pt.Admission <= 0 || pt.Admission > 1 {
+			t.Fatalf("admission %v out of range at N=%d", pt.Admission, pt.Nodes)
+		}
+	}
+}
+
 func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 251 // prime, not a multiple of any worker count

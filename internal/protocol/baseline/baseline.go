@@ -84,14 +84,17 @@ func (b *listBase) advert(headroom float64) protocol.Message {
 // reference point.
 type PurePush struct {
 	listBase
-	timer protocol.Timer
+	timer  protocol.Timer
+	tickFn func() // cached tick callback: one closure per attach, not per tick
 }
 
 var _ protocol.Discovery = (*PurePush)(nil)
 
 // NewPurePush returns a Push-1 instance.
 func NewPurePush(cfg protocol.Config) *PurePush {
-	return &PurePush{listBase: newListBase(cfg)}
+	p := &PurePush{listBase: newListBase(cfg)}
+	p.tickFn = p.tick
+	return p
 }
 
 // Name follows the paper's figure legend.
@@ -102,17 +105,28 @@ func (p *PurePush) Name() string {
 // Attach starts the periodic advertisement chain.
 func (p *PurePush) Attach(env protocol.Env) {
 	p.attach(env)
+	p.timer = nil // a revived node gets a fresh Env; old timer is dead
+	p.arm()
+}
+
+func (p *PurePush) tick() {
+	if p.dead {
+		return
+	}
+	p.env.Flood(p.advert(p.env.Headroom()))
 	p.arm()
 }
 
 func (p *PurePush) arm() {
-	p.timer = p.env.After(p.cfg.PushInterval, func() {
-		if p.dead {
+	// Re-arm the same timer when the Env supports it: the periodic
+	// advertisement chain then runs a whole simulation on one timer
+	// object instead of one allocation per tick per node.
+	if p.timer != nil {
+		if rt, ok := p.timer.(protocol.ResettableTimer); ok && rt.Reset(p.cfg.PushInterval) {
 			return
 		}
-		p.env.Flood(p.advert(p.env.Headroom()))
-		p.arm()
-	})
+	}
+	p.timer = p.env.After(p.cfg.PushInterval, p.tickFn)
 }
 
 // OnArrival is a no-op: pure push never solicits.
@@ -288,9 +302,12 @@ func (p *AdaptivePull) OnArrival(size float64) {
 	if p.dead {
 		return
 	}
-	p.gov.MaybeHelp(size, func() protocol.Message {
-		return protocol.Message{Kind: protocol.Help, From: p.env.Self(), Demand: size}
-	})
+	p.gov.MaybeHelpFor(size, p)
+}
+
+// BuildHelp constructs the HELP payload lazily for the governor.
+func (p *AdaptivePull) BuildHelp(size float64) protocol.Message {
+	return protocol.Message{Kind: protocol.Help, From: p.env.Self(), Demand: size}
 }
 
 // OnUsageCrossing is a no-op: no push component.

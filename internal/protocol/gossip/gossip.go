@@ -148,12 +148,8 @@ func (g *Protocol) merge(entries []protocol.Candidate) {
 }
 
 func (g *Protocol) viewEntry(id topology.NodeID) (protocol.Candidate, bool) {
-	for _, c := range g.view.Snapshot(g.env.Now()) {
-		if c.ID == id {
-			return c, true
-		}
-	}
-	return protocol.Candidate{}, false
+	g.view.Len(g.env.Now()) // expire stale records, as Snapshot used to
+	return g.view.Get(id)
 }
 
 // OnArrival is a no-op: gossip is purely periodic.

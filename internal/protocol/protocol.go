@@ -9,7 +9,6 @@ package protocol
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"realtor/internal/sim"
 	"realtor/internal/topology"
@@ -81,9 +80,17 @@ type Candidate struct {
 // from PLEDGE/ADVERT messages. Entries expire TTL seconds after their
 // timestamp — "the membership of a node in a community is valid only for
 // the interval between two consecutive refresh messages".
+//
+// Representation: a dense slice kept permanently in better() order (best
+// candidate first) by incremental insertion, rather than a map. Community
+// sizes are small (tens of entries), so ordered insertion is cheap, Best
+// becomes a head peek, and Snapshot becomes a copy into a reused scratch
+// buffer — no per-call map iteration, sorting, or allocation on the
+// simulator's hot path.
 type PledgeList struct {
 	ttl     sim.Time
-	entries map[topology.NodeID]Candidate
+	entries []Candidate // live entries, better()-sorted, best first
+	scratch []Candidate // reusable Snapshot buffer
 }
 
 // NewPledgeList returns an empty list whose entries live for ttl seconds.
@@ -91,7 +98,41 @@ func NewPledgeList(ttl sim.Time) *PledgeList {
 	if ttl <= 0 {
 		panic("protocol: pledge list TTL must be positive")
 	}
-	return &PledgeList{ttl: ttl, entries: make(map[topology.NodeID]Candidate)}
+	return &PledgeList{ttl: ttl}
+}
+
+// find returns the index of id's entry, or -1.
+func (l *PledgeList) find(id topology.NodeID) int {
+	for i := range l.entries {
+		if l.entries[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt deletes the entry at index i preserving order.
+func (l *PledgeList) removeAt(i int) {
+	copy(l.entries[i:], l.entries[i+1:])
+	l.entries = l.entries[:len(l.entries)-1]
+}
+
+// insert places c at its better()-rank. Binary search keeps the slice
+// totally ordered, so iteration order — and with it every downstream
+// RNG draw — is identical to sorting a fresh snapshot.
+func (l *PledgeList) insert(c Candidate) {
+	lo, hi := 0, len(l.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if better(c, l.entries[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	l.entries = append(l.entries, Candidate{})
+	copy(l.entries[lo+1:], l.entries[lo:])
+	l.entries[lo] = c
 }
 
 // Update records availability info from a node. A non-positive headroom
@@ -99,50 +140,65 @@ func NewPledgeList(ttl sim.Time) *PledgeList {
 // pledges on both directions of a threshold crossing precisely so that
 // organizers can drop saturated members quickly.
 func (l *PledgeList) Update(now sim.Time, from topology.NodeID, headroom float64) {
-	if headroom <= 0 {
-		delete(l.entries, from)
-		return
-	}
-	l.entries[from] = Candidate{ID: from, Headroom: headroom, At: now}
+	l.UpdateAt(now, from, headroom)
 }
 
 // UpdateAt is Update with an explicit information timestamp — gossip
 // merges must preserve the origin time of relayed entries, or stale
 // third-hand data would masquerade as fresh.
 func (l *PledgeList) UpdateAt(at sim.Time, from topology.NodeID, headroom float64) {
+	if i := l.find(from); i >= 0 {
+		l.removeAt(i)
+	}
 	if headroom <= 0 {
-		delete(l.entries, from)
 		return
 	}
-	l.entries[from] = Candidate{ID: from, Headroom: headroom, At: at}
+	l.insert(Candidate{ID: from, Headroom: headroom, At: at})
 }
 
 // Remove deletes an entry outright (e.g. after a failed migration try).
-func (l *PledgeList) Remove(id topology.NodeID) { delete(l.entries, id) }
+func (l *PledgeList) Remove(id topology.NodeID) {
+	if i := l.find(id); i >= 0 {
+		l.removeAt(i)
+	}
+}
 
 // Debit reduces an entry's recorded headroom by size (after sending a
 // task there) so repeated migrations don't herd onto one host. The entry
 // is dropped when it no longer advertises positive headroom.
 func (l *PledgeList) Debit(id topology.NodeID, size float64) {
-	c, ok := l.entries[id]
-	if !ok {
+	i := l.find(id)
+	if i < 0 {
 		return
 	}
+	c := l.entries[i]
+	l.removeAt(i)
 	c.Headroom -= size
 	if c.Headroom <= 0 {
-		delete(l.entries, id)
 		return
 	}
-	l.entries[id] = c
+	l.insert(c)
 }
 
-// expire drops entries older than the TTL.
+// Get returns the entry for id, if present and regardless of freshness.
+func (l *PledgeList) Get(id topology.NodeID) (Candidate, bool) {
+	if i := l.find(id); i >= 0 {
+		return l.entries[i], true
+	}
+	return Candidate{}, false
+}
+
+// expire drops entries older than the TTL, compacting in place (order is
+// preserved — expiry is by At, independent of rank).
 func (l *PledgeList) expire(now sim.Time) {
-	for id, c := range l.entries {
-		if now-c.At > l.ttl {
-			delete(l.entries, id)
+	k := 0
+	for _, c := range l.entries {
+		if now-c.At <= l.ttl {
+			l.entries[k] = c
+			k++
 		}
 	}
+	l.entries = l.entries[:k]
 }
 
 // Len returns the number of live entries at time now.
@@ -153,20 +209,15 @@ func (l *PledgeList) Len(now sim.Time) int {
 
 // Best returns the live candidate with the most advertised headroom that
 // could fit a task of the given size, breaking ties by freshness then by
-// lowest ID (for determinism). ok is false if no candidate fits.
+// lowest ID (for determinism). ok is false if no candidate fits: the head
+// of the ordered list has the maximum headroom, so either it fits — and
+// is the better()-best fitting entry — or nothing does.
 func (l *PledgeList) Best(now sim.Time, size float64) (Candidate, bool) {
 	l.expire(now)
-	var best Candidate
-	found := false
-	for _, c := range l.entries {
-		if c.Headroom < size {
-			continue
-		}
-		if !found || better(c, best) {
-			best, found = c, true
-		}
+	if len(l.entries) > 0 && l.entries[0].Headroom >= size {
+		return l.entries[0], true
 	}
-	return best, found
+	return Candidate{}, false
 }
 
 func better(a, b Candidate) bool {
@@ -181,14 +232,15 @@ func better(a, b Candidate) bool {
 
 // Snapshot returns the live candidates sorted best-first. The engine uses
 // it when the protocol must hand over "a list of hosts" (Section 3).
+//
+// The returned slice is a scratch buffer owned by the list: it is valid
+// until the next Snapshot call and may be filtered in place by the
+// caller, but must not be retained. (Every protocol instance is
+// single-threaded, per the Discovery contract.)
 func (l *PledgeList) Snapshot(now sim.Time) []Candidate {
 	l.expire(now)
-	out := make([]Candidate, 0, len(l.entries))
-	for _, c := range l.entries {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
-	return out
+	l.scratch = append(l.scratch[:0], l.entries...)
+	return l.scratch
 }
 
 // CostModel converts protocol actions into the paper's message units:
@@ -218,6 +270,17 @@ func NewCostModel(g *topology.Graph) CostModel {
 // Timer is a cancellable scheduled callback handed out by Env.After.
 type Timer interface {
 	Stop()
+}
+
+// ResettableTimer is an optional Timer extension: Reset re-arms the same
+// timer d seconds from now with its original callback, letting protocols
+// that re-arm on every event (Algorithm H's response timer, the push
+// baselines' advertisement tick) reuse one timer object instead of
+// allocating a fresh one per arming. Protocols must type-assert and fall
+// back to Stop+After when the Env's timers don't support it.
+type ResettableTimer interface {
+	Timer
+	Reset(d sim.Time) bool
 }
 
 // Env is the node-local execution environment the engine provides to a

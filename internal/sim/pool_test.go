@@ -176,11 +176,13 @@ func BenchmarkSchedulerPushPop(b *testing.B) {
 }
 
 // BenchmarkSchedulerCancel measures schedule+cancel churn (the timer
-// reset pattern protocols use constantly).
+// reset pattern protocols use constantly). The scheduler is pre-sized
+// via the NewScheduler capacity hint so the steady state is what's
+// measured — 0 allocs/op — rather than slice-regrowth noise.
 func BenchmarkSchedulerCancel(b *testing.B) {
-	s := New()
-	nop := func(Time) {}
 	const depth = 256
+	s := NewScheduler(depth + 1)
+	nop := func(Time) {}
 	for i := 0; i < depth; i++ {
 		s.At(Time(i)+1e9, nop) // far-future ballast so cancels hit mid-heap
 	}
@@ -189,5 +191,28 @@ func BenchmarkSchedulerCancel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := s.At(Time(i%1000)+1e6, nop)
 		s.Cancel(e)
+	}
+}
+
+// TestNewSchedulerCapacityHint pins the pre-sizing contract: the hint is
+// an optimization only — behaviour (and growth past the hint) is
+// unchanged.
+func TestNewSchedulerCapacityHint(t *testing.T) {
+	s := NewScheduler(4)
+	var fired []Time
+	for i := 8; i >= 1; i-- { // deliberately exceed the hint
+		s.At(Time(i), func(now Time) { fired = append(fired, now) })
+	}
+	s.Run()
+	if len(fired) != 8 {
+		t.Fatalf("fired %d events, want 8", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order: %v", fired)
+		}
+	}
+	if s2 := NewScheduler(-3); s2.Pending() != 0 || s2.Now() != 0 {
+		t.Fatal("negative capacity hint not treated as zero")
 	}
 }

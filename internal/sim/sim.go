@@ -93,6 +93,22 @@ func New() *Scheduler {
 	return &Scheduler{}
 }
 
+// NewScheduler returns an empty scheduler pre-sized for roughly capacity
+// concurrently pending events. The hint removes the append-driven slice
+// regrowth of the heap and event pool during a run's ramp-up (or a
+// benchmark's steady state); the scheduler still grows past the hint on
+// demand.
+func NewScheduler(capacity int) *Scheduler {
+	if capacity <= 0 {
+		return &Scheduler{}
+	}
+	return &Scheduler{
+		heap: make([]heapItem, 0, capacity),
+		pool: make([]eventRec, 0, capacity),
+		free: make([]int32, 0, capacity),
+	}
+}
+
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 

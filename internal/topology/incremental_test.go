@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"testing"
+
+	"realtor/internal/rng"
+)
+
+// rebuildReference returns a freshly built graph with the same adjacency
+// as g, so its distance matrix is computed from scratch with no
+// incremental state.
+func rebuildReference(g *Graph) *Graph {
+	ref := NewGraph(g.N())
+	for _, l := range g.LinkList() {
+		ref.AddLink(l[0], l[1])
+	}
+	return ref
+}
+
+// assertDistancesMatch compares Dist, Connected and ComponentOf between
+// the incrementally maintained graph and a freshly built reference.
+func assertDistancesMatch(t *testing.T, step int, g, ref *Graph) {
+	t.Helper()
+	n := g.N()
+	if gc, rc := g.Connected(), ref.Connected(); gc != rc {
+		t.Fatalf("step %d: Connected()=%v, fresh rebuild says %v", step, gc, rc)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if gd, rd := g.Dist(NodeID(a), NodeID(b)), ref.Dist(NodeID(a), NodeID(b)); gd != rd {
+				t.Fatalf("step %d: Dist(%d,%d)=%d, fresh rebuild says %d", step, a, b, gd, rd)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		gc, rc := g.ComponentOf(NodeID(a)), ref.ComponentOf(NodeID(a))
+		if len(gc) != len(rc) {
+			t.Fatalf("step %d: ComponentOf(%d) sizes %d vs %d", step, a, len(gc), len(rc))
+		}
+		for i := range gc {
+			if gc[i] != rc[i] {
+				t.Fatalf("step %d: ComponentOf(%d)[%d]=%d, fresh rebuild says %d",
+					step, a, i, gc[i], rc[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalDistanceChurnProperty applies random CutLink/RestoreLink
+// churn and asserts after every single mutation that the incrementally
+// maintained snapshot agrees exactly with a from-scratch rebuild. This is
+// the correctness contract of the dirty-set maintenance: carrying a row
+// across a mutation is only legal when that row provably cannot change.
+func TestIncrementalDistanceChurnProperty(t *testing.T) {
+	builders := []struct {
+		name string
+		g    func() *Graph
+	}{
+		{"mesh4x4", func() *Graph { return Mesh(4, 4) }},
+		{"torus3x4", func() *Graph { return Torus(3, 4) }},
+		{"ring7", func() *Graph { return Ring(7) }},
+		{"random12", func() *Graph { return Random(12, 0.3, rng.New(99)) }},
+	}
+	for _, tc := range builders {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g()
+			all := g.LinkList() // full link universe for this topology
+			if len(all) == 0 {
+				t.Skip("no links")
+			}
+			down := make(map[[2]NodeID]bool)
+			s := rng.New(42)
+			// Warm the cache so mutations exercise the incremental path
+			// (a cold cache would just defer everything to first query).
+			g.Dist(0, NodeID(g.N()-1))
+			for step := 0; step < 120; step++ {
+				l := all[s.Intn(len(all))]
+				if down[l] {
+					if !g.RestoreLink(l[0], l[1]) {
+						t.Fatalf("step %d: RestoreLink%v failed", step, l)
+					}
+					delete(down, l)
+				} else {
+					if !g.CutLink(l[0], l[1]) {
+						t.Fatalf("step %d: CutLink%v failed", step, l)
+					}
+					down[l] = true
+				}
+				assertDistancesMatch(t, step, g, rebuildReference(g))
+			}
+		})
+	}
+}
+
+// TestIncrementalDistanceLazyRows exercises the memory-bounded large-N
+// path (> eagerDistLimit nodes): rows materialize on demand, and churn
+// correctness must hold there too. Distances are spot-checked (the full
+// N² sweep would dominate test time) against a fresh rebuild.
+func TestIncrementalDistanceLazyRows(t *testing.T) {
+	g := Mesh(36, 36) // 1296 > eagerDistLimit
+	if g.N() <= eagerDistLimit {
+		t.Fatalf("test graph too small (%d nodes) for the lazy path", g.N())
+	}
+	all := g.LinkList()
+	s := rng.New(7)
+	probes := [][2]NodeID{{0, NodeID(g.N() - 1)}, {5, 600}, {1295, 36}, {700, 701}}
+	for _, p := range probes {
+		g.Dist(p[0], p[1]) // warm a few rows
+	}
+	down := make(map[[2]NodeID]bool)
+	for step := 0; step < 40; step++ {
+		l := all[s.Intn(len(all))]
+		if down[l] {
+			g.RestoreLink(l[0], l[1])
+			delete(down, l)
+		} else {
+			g.CutLink(l[0], l[1])
+			down[l] = true
+		}
+		ref := rebuildReference(g)
+		for _, p := range probes {
+			if gd, rd := g.Dist(p[0], p[1]), ref.Dist(p[0], p[1]); gd != rd {
+				t.Fatalf("step %d: Dist(%d,%d)=%d, fresh rebuild says %d",
+					step, p[0], p[1], gd, rd)
+			}
+		}
+		if gc, rc := g.Connected(), ref.Connected(); gc != rc {
+			t.Fatalf("step %d: Connected()=%v, fresh rebuild says %v", step, gc, rc)
+		}
+	}
+	if st := g.DistStats(); st.FullBuilds != 0 {
+		t.Fatalf("lazy path performed %d full all-pairs builds; want 0", st.FullBuilds)
+	}
+}
+
+// TestLargeMeshChurnAvoidsFullRebuild is the scalability acceptance
+// criterion: on a 50×50 (2500-node) mesh, link churn must never trigger
+// a full all-pairs rebuild, and per-fault row recomputation must stay
+// bounded by what is actually queried rather than O(N) BFS sweeps.
+func TestLargeMeshChurnAvoidsFullRebuild(t *testing.T) {
+	g := Mesh(50, 50)
+	// Typical engine usage: a handful of distance queries between faults.
+	g.Dist(0, 2499)
+	g.Dist(1250, 49)
+
+	all := g.LinkList()
+	s := rng.New(3)
+	const faults = 200
+	for i := 0; i < faults; i++ {
+		l := all[s.Intn(len(all))]
+		if g.HasLink(l[0], l[1]) {
+			g.CutLink(l[0], l[1])
+		} else {
+			g.RestoreLink(l[0], l[1])
+		}
+		// The engine's partition check after each fault: a couple of
+		// point queries, not a full matrix scan.
+		g.Dist(l[0], l[1])
+	}
+	st := g.DistStats()
+	if st.FullBuilds != 0 {
+		t.Fatalf("churn at N=2500 triggered %d full all-pairs rebuilds; want 0", st.FullBuilds)
+	}
+	// Row work must be per-query, not per-fault×N. Each fault re-BFSes at
+	// most the couple of rows actually queried afterwards, so the total
+	// stays a small multiple of the fault count — far below the N rows a
+	// single eager rebuild would have paid per fault.
+	if max := uint64(faults * 4); st.RowBuilds > max {
+		t.Fatalf("churn at N=2500 built %d rows; want ≤ %d (bounded by queries, not N)",
+			st.RowBuilds, max)
+	}
+	if st.RowsCarried == 0 {
+		t.Fatal("no rows carried across mutations; incremental maintenance inactive")
+	}
+}
+
+// TestDistStatsCountsEagerBuild pins the small-graph eager path: the
+// first query pays exactly one full build; a heavy-dirty mutation (a mesh
+// cut dirties essentially every row) drops the snapshot lazily, so bursts
+// of faults coalesce into a single rebuild at the next query instead of
+// paying one rebuild per fault.
+func TestDistStatsCountsEagerBuild(t *testing.T) {
+	g := Mesh(5, 5)
+	g.Dist(0, 24)
+	st := g.DistStats()
+	if st.FullBuilds != 1 {
+		t.Fatalf("FullBuilds=%d after first query, want 1", st.FullBuilds)
+	}
+	if st.RowBuilds != 0 {
+		t.Fatalf("RowBuilds=%d on the eager path, want 0", st.RowBuilds)
+	}
+	// A burst of three faults with no queries in between: the old code
+	// paid three full rebuilds here; now none happen until the query.
+	g.CutLink(0, 1)
+	g.CutLink(5, 6)
+	g.CutLink(12, 13)
+	if st = g.DistStats(); st.FullBuilds != 1 {
+		t.Fatalf("FullBuilds=%d right after faults, want still 1 (deferred)", st.FullBuilds)
+	}
+	if d := g.Dist(0, 24); d != 8 {
+		t.Fatalf("Dist(0,24)=%d after cuts, want 8", d)
+	}
+	if st = g.DistStats(); st.FullBuilds != 2 {
+		t.Fatalf("FullBuilds=%d after post-burst query, want 2 (coalesced)", st.FullBuilds)
+	}
+}
+
+// TestMutationCarriesRowsAcrossComponents pins the carried-row path: a
+// cut inside one component cannot change distances measured from the
+// other component, so those rows are shared with the previous snapshot.
+func TestMutationCarriesRowsAcrossComponents(t *testing.T) {
+	g := NewGraph(10) // ring 0..4 plus line 5..9, disjoint
+	for i := 0; i < 5; i++ {
+		g.AddLink(NodeID(i), NodeID((i+1)%5))
+	}
+	for i := 5; i < 9; i++ {
+		g.AddLink(NodeID(i), NodeID(i+1))
+	}
+	g.Dist(0, 4) // materialize
+	base := g.DistStats()
+	g.CutLink(7, 8) // inside the line: ring rows are provably clean
+	st := g.DistStats()
+	if st.FullBuilds != base.FullBuilds {
+		t.Fatalf("FullBuilds grew %d→%d on a clean-side cut", base.FullBuilds, st.FullBuilds)
+	}
+	if st.RowsCarried == 0 {
+		t.Fatal("no rows carried across a cut that leaves another component untouched")
+	}
+	// Correctness after the carry.
+	assertDistancesMatch(t, 0, g, rebuildReference(g))
+}

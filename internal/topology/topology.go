@@ -25,27 +25,88 @@ type NodeID int
 // queries is allowed — caches invalidate automatically.
 //
 // Concurrency: path queries (Dist, Diameter, ...) are safe to call from
-// multiple goroutines — the lazily built distance cache sits behind an
-// atomic pointer, so the parallel experiment runner may share one Graph
-// across engines. Mutators (AddLink, RemoveNodeLinks, CutLink,
-// RestoreLink) are NOT safe to run concurrently with queries or each
-// other; mutate only during single-threaded setup or inside a single
-// engine's event loop. The engine never mutates a shared graph: its
-// CutLink/RestoreLink copy-on-write a private clone first, so pristine
-// graphs shared across parallel experiment cells stay frozen.
+// multiple goroutines — the distance cache is a snapshot behind an atomic
+// pointer whose rows are themselves published atomically (computed on
+// demand, CAS'd in, immutable afterwards), so the parallel experiment
+// runner may share one Graph across engines. Mutators (AddLink,
+// RemoveNodeLinks, CutLink, RestoreLink) are NOT safe to run concurrently
+// with queries or each other; mutate only during single-threaded setup or
+// inside a single engine's event loop. The engine never mutates a shared
+// graph: its CutLink/RestoreLink copy-on-write a private clone first, so
+// pristine graphs shared across parallel experiment cells stay frozen.
 type Graph struct {
 	n     int
 	adj   [][]NodeID
 	links int
 
-	// lazily computed all-pairs BFS distances; nil until first use
+	// dist is the current distance snapshot; nil until first use.
 	dist atomic.Pointer[distMatrix]
+
+	// Recomputation-effort counters (see DistStats). Atomic because row
+	// fills may race between concurrent readers of a shared graph.
+	fullBuilds  atomic.Uint64
+	rowBuilds   atomic.Uint64
+	rowsCarried atomic.Uint64
 }
 
-// distMatrix is an immutable all-pairs distance snapshot. rows[i][j] is
-// the hop count from i to j, -1 if unreachable.
+// eagerDistLimit bounds the eager path: graphs up to this many nodes get
+// their full all-pairs matrix materialized on first query (one backing
+// array, best cache locality — the paper-scale setting). Larger graphs
+// use the memory-bounded path: rows are computed one source at a time,
+// on demand, so a 2500-node mesh never pays the O(N²) matrix unless every
+// row is actually queried.
+const eagerDistLimit = 1024
+
+// distMatrix is a distance snapshot. Each row is immutable once
+// published: rows[i] atomically holds *[]int where (*rows[i])[j] is the
+// hop count from i to j, -1 if unreachable. A nil row has not been
+// computed for this snapshot yet — readers compute it on demand from the
+// current adjacency and CAS it in (racers produce identical rows, so
+// whichever wins is correct). filled counts published rows.
+//
+// Mutations (CutLink/RestoreLink) publish a NEW snapshot that carries
+// over the row pointers whose sources provably cannot have changed (see
+// dirty-set analysis at cutDirties/restoreDirties) and leaves the dirty
+// ones nil, to be re-BFS'd only if queried. This replaces the old eager
+// full O(V·(V+E)) rebuild per link mutation.
 type distMatrix struct {
-	rows [][]int
+	rows   []atomic.Pointer[[]int]
+	filled atomic.Int64
+}
+
+// row returns snapshot row i, computing and publishing it on first use.
+func (g *Graph) row(m *distMatrix, i NodeID) []int {
+	if p := m.rows[i].Load(); p != nil {
+		return *p
+	}
+	r := make([]int, g.n)
+	g.bfs(i, r)
+	g.rowBuilds.Add(1)
+	if !m.rows[i].CompareAndSwap(nil, &r) {
+		return *m.rows[i].Load() // concurrent racer won with an identical row
+	}
+	m.filled.Add(1)
+	return r
+}
+
+// DistStats reports how much distance-recomputation work this graph has
+// performed, for tests and perf introspection. FullBuilds counts complete
+// all-pairs builds, RowBuilds single-source BFS row fills, and
+// RowsCarried rows shared unchanged across a link-mutation snapshot
+// (work avoided by the incremental maintenance).
+type DistStats struct {
+	FullBuilds  uint64
+	RowBuilds   uint64
+	RowsCarried uint64
+}
+
+// DistStats returns the current recomputation counters.
+func (g *Graph) DistStats() DistStats {
+	return DistStats{
+		FullBuilds:  g.fullBuilds.Load(),
+		RowBuilds:   g.rowBuilds.Load(),
+		RowsCarried: g.rowsCarried.Load(),
+	}
 }
 
 // NewGraph returns a graph with n isolated nodes.
@@ -111,36 +172,142 @@ func (g *Graph) RemoveNodeLinks(id NodeID) {
 // CutLink severs the undirected link {a, b} mid-run, if present, and
 // reports whether anything changed. Unlike AddLink it does not panic on
 // a missing link: link-fault injectors race heals against cuts, and a
-// repeated cut is a no-op, not a bug. The immutable distance snapshot is
-// recomputed and atomically republished on every effective mutation, so
-// readers never observe a stale or half-built matrix — pairs split apart
-// report Dist == -1 from the instant the cut lands.
+// repeated cut is a no-op, not a bug. A fresh immutable distance snapshot
+// is atomically republished on every effective mutation, so readers never
+// observe a stale or half-built matrix — pairs split apart report
+// Dist == -1 from the instant the cut lands. The new snapshot is built
+// incrementally: rows whose source provably cannot see the cut are shared
+// with the previous snapshot, the rest are re-derived lazily on demand
+// (no full all-pairs rebuild per fault).
 func (g *Graph) CutLink(a, b NodeID) bool {
 	g.checkPair(a, b)
 	if !g.HasLink(a, b) {
 		return false
 	}
+	next := g.prepareNext(a, b, false)
 	g.adj[a] = remove(g.adj[a], b)
 	g.adj[b] = remove(g.adj[b], a)
 	g.links--
-	g.dist.Store(g.computeDist())
+	g.publishNext(next)
 	return true
 }
 
 // RestoreLink re-inserts the undirected link {a, b} mid-run, if absent,
 // and reports whether anything changed. It is CutLink's inverse and
-// shares its idempotence and eager-snapshot semantics; it is also usable
-// to add genuinely new links to a running overlay (topology repair).
+// shares its idempotence and incremental-snapshot semantics; it is also
+// usable to add genuinely new links to a running overlay (topology
+// repair).
 func (g *Graph) RestoreLink(a, b NodeID) bool {
 	g.checkPair(a, b)
 	if g.HasLink(a, b) {
 		return false
 	}
+	next := g.prepareNext(a, b, true)
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 	g.links++
-	g.dist.Store(g.computeDist())
+	g.publishNext(next)
 	return true
+}
+
+// nextDist is the snapshot-to-publish decided by prepareNext: either a
+// concrete matrix (carried rows + lazy holes), a request for a full
+// rebuild (small-graph fallback when almost everything is dirty), or
+// "leave unbuilt" (m == nil, full == false: distances were never queried,
+// so stay lazy).
+type nextDist struct {
+	m    *distMatrix
+	full bool
+}
+
+// prepareNext plans the distance snapshot that will hold after toggling
+// link {a, b}. It MUST run before the adjacency mutates: the dirty-set
+// analysis needs pre-mutation distances to a and b.
+//
+// Dirty-set invariants (unit-weight undirected graphs):
+//
+//   - Cut {a,b}: removal can only lengthen paths, and d(s,t) grows only
+//     if every shortest s–t path crossed the edge — which forces
+//     |d(s,a) − d(s,b)| == 1 beforehand. Sources with any other
+//     difference (including both endpoints unreachable) keep their rows.
+//
+//   - Restore {a,b}: insertion can only shorten paths, and any new
+//     shortest path uses the new edge exactly once (shortest paths are
+//     simple), i.e. d'(s,t) = min(d, d(s,a)+1+d(b,t), d(s,b)+1+d(a,t)).
+//     Row s can improve only if the detour through the edge can beat
+//     something: |d(s,a) − d(s,b)| ≥ 2, or exactly one endpoint was
+//     reachable. Sources with |diff| ≤ 1 (or neither endpoint reachable)
+//     keep their rows.
+//
+// Both conditions are conservative (necessary, not sufficient), so kept
+// rows are always exact; flagged rows are re-derived from the mutated
+// adjacency when next queried.
+func (g *Graph) prepareNext(a, b NodeID, restore bool) nextDist {
+	old := g.dist.Load()
+	if old == nil {
+		return nextDist{} // never queried: stay unbuilt
+	}
+	if old.filled.Load() == 0 {
+		// Nothing materialized to carry over — republish an empty lazy
+		// snapshot without spending two BFS on the dirty analysis.
+		return nextDist{m: newDistMatrix(g.n)}
+	}
+	ra := g.row(old, a) // pre-mutation distances from a
+	rb := g.row(old, b) // pre-mutation distances from b
+	m := newDistMatrix(g.n)
+	dirty, carried := 0, 0
+	for s := 0; s < g.n; s++ {
+		da, db := ra[s], rb[s]
+		var canChange bool
+		if restore {
+			switch {
+			case da < 0 && db < 0:
+				canChange = false // s reaches neither endpoint: no new paths
+			case da < 0 || db < 0:
+				canChange = true // one side newly reachable
+			default:
+				canChange = da-db >= 2 || db-da >= 2
+			}
+		} else {
+			canChange = da-db == 1 || db-da == 1
+		}
+		if canChange {
+			dirty++
+			continue
+		}
+		if p := old.rows[s].Load(); p != nil {
+			m.rows[s].Store(p)
+			m.filled.Add(1)
+			carried++
+		}
+	}
+	if dirty*4 >= g.n*3 {
+		// ≥75% dirty: the carried bookkeeping buys nothing. Drop the
+		// snapshot entirely — the next query pays one rebuild (eager full
+		// matrix for small graphs, lazy rows for large ones), and bursts
+		// of consecutive faults coalesce into a single rebuild instead of
+		// one per fault.
+		return nextDist{full: true}
+	}
+	g.rowsCarried.Add(uint64(carried))
+	return nextDist{m: m}
+}
+
+// publishNext installs the snapshot planned by prepareNext. Must run
+// after the adjacency mutated (any rebuild reads the new adjacency).
+func (g *Graph) publishNext(next nextDist) {
+	switch {
+	case next.full:
+		g.dist.Store(nil) // deferred: rebuilt on next query
+	case next.m != nil:
+		g.dist.Store(next.m)
+	default:
+		g.dist.Store(nil)
+	}
+}
+
+func newDistMatrix(n int) *distMatrix {
+	return &distMatrix{rows: make([]atomic.Pointer[[]int], n)}
 }
 
 func (g *Graph) checkPair(a, b NodeID) {
@@ -156,7 +323,7 @@ func (g *Graph) checkPair(a, b NodeID) {
 // (including id itself) — the connected component id sits in. On a
 // partitioned graph this identifies the side of the split.
 func (g *Graph) ComponentOf(id NodeID) []NodeID {
-	row := g.ensureDist().rows[id]
+	row := g.row(g.ensureDist(), id)
 	out := make([]NodeID, 0, g.n)
 	for j, d := range row {
 		if d >= 0 {
@@ -255,17 +422,23 @@ func (g *Graph) bfs(src NodeID, row []int) {
 	}
 }
 
-// ensureDist returns the current distance snapshot, computing it on
-// first use. Concurrent first callers may each compute the matrix; for a
-// fixed adjacency the results are identical, and the CAS keeps exactly
-// one, so racing readers always see a complete, immutable snapshot
-// (unlike the old in-place lazy fill, which published partially built
-// rows).
+// ensureDist returns the current distance snapshot, creating it on first
+// use. Small graphs (≤ eagerDistLimit nodes) materialize the full matrix
+// immediately; larger ones start empty and fill rows on demand.
+// Concurrent first callers may each build a snapshot; the CAS keeps
+// exactly one, and per-row CAS publication keeps row fills on the kept
+// snapshot consistent, so racing readers always see complete, immutable
+// rows.
 func (g *Graph) ensureDist() *distMatrix {
 	if m := g.dist.Load(); m != nil {
 		return m
 	}
-	m := g.computeDist()
+	var m *distMatrix
+	if g.n <= eagerDistLimit {
+		m = g.computeDist()
+	} else {
+		m = newDistMatrix(g.n)
+	}
 	if !g.dist.CompareAndSwap(nil, m) {
 		if prev := g.dist.Load(); prev != nil {
 			return prev
@@ -274,26 +447,30 @@ func (g *Graph) ensureDist() *distMatrix {
 	return m
 }
 
-// computeDist builds a fresh immutable all-pairs snapshot of the current
-// adjacency. CutLink/RestoreLink publish one eagerly per mutation.
+// computeDist builds a fully materialized all-pairs snapshot of the
+// current adjacency over one backing array (the eager small-graph path
+// and the dirty-set fallback of link mutations).
 func (g *Graph) computeDist() *distMatrix {
-	m := &distMatrix{rows: make([][]int, g.n)}
+	m := newDistMatrix(g.n)
 	backing := make([]int, g.n*g.n)
 	for i := 0; i < g.n; i++ {
-		m.rows[i] = backing[i*g.n : (i+1)*g.n]
-		g.bfs(NodeID(i), m.rows[i])
+		row := backing[i*g.n : (i+1)*g.n : (i+1)*g.n]
+		g.bfs(NodeID(i), row)
+		m.rows[i].Store(&row)
 	}
+	m.filled.Store(int64(g.n))
+	g.fullBuilds.Add(1)
 	return m
 }
 
 // Dist returns the hop distance between a and b, or -1 if unreachable.
 func (g *Graph) Dist(a, b NodeID) int {
-	return g.ensureDist().rows[a][b]
+	return g.row(g.ensureDist(), a)[b]
 }
 
 // Connected reports whether every node can reach every other node.
 func (g *Graph) Connected() bool {
-	for _, d := range g.ensureDist().rows[0] {
+	for _, d := range g.row(g.ensureDist(), 0) {
 		if d < 0 {
 			return false
 		}
@@ -301,19 +478,51 @@ func (g *Graph) Connected() bool {
 	return true
 }
 
+// eachRow invokes fn with every source's distance row, in source order.
+// Materialized rows are reused; missing rows of a large (lazy) snapshot
+// are computed into a shared scratch buffer WITHOUT being retained, so
+// whole-graph aggregates (Diameter, MeanPathLength) never force a
+// 2500-node graph to hold its full O(N²) matrix. fn must not retain row.
+func (g *Graph) eachRow(fn func(i int, row []int) bool) {
+	m := g.ensureDist()
+	var scratch []int
+	for i := 0; i < g.n; i++ {
+		var row []int
+		if p := m.rows[i].Load(); p != nil {
+			row = *p
+		} else if g.n <= eagerDistLimit {
+			row = g.row(m, NodeID(i))
+		} else {
+			if scratch == nil {
+				scratch = make([]int, g.n)
+			}
+			g.bfs(NodeID(i), scratch)
+			row = scratch
+		}
+		if !fn(i, row) {
+			return
+		}
+	}
+}
+
 // Diameter returns the longest shortest path, or -1 if disconnected.
 func (g *Graph) Diameter() int {
-	dist := g.ensureDist().rows
 	max := 0
-	for i := range dist {
-		for _, d := range dist[i] {
+	disconnected := false
+	g.eachRow(func(_ int, row []int) bool {
+		for _, d := range row {
 			if d < 0 {
-				return -1
+				disconnected = true
+				return false
 			}
 			if d > max {
 				max = d
 			}
 		}
+		return true
+	})
+	if disconnected {
+		return -1
 	}
 	return max
 }
@@ -323,16 +532,16 @@ func (g *Graph) Diameter() int {
 // paper rounds the PLEDGE cost to 4, which callers may do themselves (see
 // protocol.CostModel).
 func (g *Graph) MeanPathLength() float64 {
-	dist := g.ensureDist().rows
 	sum, cnt := 0, 0
-	for i := range dist {
-		for j, d := range dist[i] {
+	g.eachRow(func(i int, row []int) bool {
+		for j, d := range row {
 			if i != j && d > 0 {
 				sum += d
 				cnt++
 			}
 		}
-	}
+		return true
+	})
 	if cnt == 0 {
 		return 0
 	}
@@ -342,7 +551,7 @@ func (g *Graph) MeanPathLength() float64 {
 // Eccentricity returns the maximum distance from id to any reachable node.
 func (g *Graph) Eccentricity(id NodeID) int {
 	max := 0
-	for _, d := range g.ensureDist().rows[id] {
+	for _, d := range g.row(g.ensureDist(), id) {
 		if d > max {
 			max = d
 		}
