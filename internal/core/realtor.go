@@ -275,11 +275,15 @@ func (r *Realtor) OnUsageCrossing(rising bool) {
 }
 
 // purgeMemberships drops expired memberships, compacting in place (the
-// ascending-organizer order is preserved).
+// ascending-organizer order is preserved). A membership is valid for the
+// half-open window [join, join+MembershipTTL): at exactly its expiry
+// instant it is already dead and receives no further pledges — the same
+// strict boundary PledgeList.expire applies to pledge entries (DESIGN.md
+// §8; pinned by TestMembershipExpiryBoundaryIsHalfOpen).
 func (r *Realtor) purgeMemberships(now sim.Time) {
 	k := 0
 	for _, m := range r.members {
-		if m.expiry >= now {
+		if m.expiry > now {
 			r.members[k] = m
 			k++
 		}
@@ -423,6 +427,31 @@ func (r *Realtor) Memberships() int {
 
 // Governor exposes the Algorithm H state for tests and ablations.
 func (r *Realtor) Governor() *HelpGovernor { return r.gov }
+
+// Config returns the parameter set this instance runs with, so external
+// invariant checkers can evaluate the protocol against its own spec.
+func (r *Realtor) Config() protocol.Config { return r.cfg }
+
+// EachPledge iterates the organizer-side availability list read-only:
+// fn sees every stored entry (including ones aged past the TTL that have
+// not been compacted yet) in better() order. No expiry, no allocation —
+// safe for an oracle to call at arbitrary instants without perturbing
+// protocol state. Returning false stops the iteration.
+func (r *Realtor) EachPledge(fn func(protocol.Candidate) bool) {
+	r.list.Each(fn)
+}
+
+// EachMembership iterates the member-side community state read-only, in
+// ascending organizer order, including memberships whose expiry has
+// passed but which have not been purged yet. Same non-perturbing
+// contract as EachPledge.
+func (r *Realtor) EachMembership(fn func(org topology.NodeID, expiry sim.Time) bool) {
+	for _, m := range r.members {
+		if !fn(m.org, m.expiry) {
+			return
+		}
+	}
+}
 
 // CommunitySize returns how many live members this node's own community
 // currently has (its availability list), for introspection and the

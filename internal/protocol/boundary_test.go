@@ -1,0 +1,67 @@
+package protocol
+
+import "testing"
+
+// The soft-state validity window is half-open: an entry stamped At lives
+// over [At, At+TTL) and is expired at exactly At+TTL (DESIGN.md §8 —
+// "valid only for the interval between two consecutive refresh
+// messages"). Before this was pinned, expire() used `<=` and an entry
+// whose age equalled the TTL was still handed out as a candidate; the
+// oracle audit of the timer paths (ISSUE 4 satellite) flagged the
+// inconsistency with the membership purge in internal/core.
+func TestPledgeListExpiryBoundaryIsHalfOpen(t *testing.T) {
+	l := NewPledgeList(10)
+	l.Update(5, 1, 30) // valid over [5, 15)
+
+	if l.Len(14.999) != 1 {
+		t.Fatal("entry expired strictly before its TTL elapsed")
+	}
+	if got := l.Len(15); got != 0 {
+		t.Fatalf("Len at exactly At+TTL = %d, want 0 (boundary is half-open)", got)
+	}
+
+	// Best must agree with Len at the boundary instant.
+	l2 := NewPledgeList(10)
+	l2.Update(5, 1, 30)
+	if _, ok := l2.Best(15, 1); ok {
+		t.Fatal("Best returned a pledge at exactly its expiry instant")
+	}
+
+	// Snapshot too — the engine's Candidates path.
+	l3 := NewPledgeList(10)
+	l3.Update(5, 1, 30)
+	if snap := l3.Snapshot(15); len(snap) != 0 {
+		t.Fatalf("Snapshot at expiry instant returned %v", snap)
+	}
+}
+
+// Each must not expire or otherwise mutate the list: it is the
+// non-perturbing read used by the invariant oracle.
+func TestPledgeListEachDoesNotPerturb(t *testing.T) {
+	l := NewPledgeList(10)
+	l.Update(0, 1, 30)
+	l.Update(2, 2, 40)
+
+	var seen []Candidate
+	l.Each(func(c Candidate) bool {
+		seen = append(seen, c)
+		return true
+	})
+	if len(seen) != 2 || seen[0].ID != 2 || seen[1].ID != 1 {
+		t.Fatalf("Each order %+v, want better()-order [2 1]", seen)
+	}
+
+	// Even long after both entries have aged out, Each still sees the raw
+	// state (it performs no expiry); a subsequent Len does compact.
+	n := 0
+	l.Each(func(Candidate) bool { n++; return n < 1 }) // early stop honoured
+	if n != 1 {
+		t.Fatalf("early stop iterated %d entries", n)
+	}
+	if l.TTL() != 10 {
+		t.Fatalf("TTL() = %v", l.TTL())
+	}
+	if l.Len(1000) != 0 {
+		t.Fatal("entries survived far past TTL")
+	}
+}

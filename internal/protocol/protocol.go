@@ -79,7 +79,10 @@ type Candidate struct {
 // PledgeList is the soft-state availability table an organizer maintains
 // from PLEDGE/ADVERT messages. Entries expire TTL seconds after their
 // timestamp — "the membership of a node in a community is valid only for
-// the interval between two consecutive refresh messages".
+// the interval between two consecutive refresh messages". Validity is the
+// half-open interval [At, At+TTL): an entry whose age equals the TTL
+// exactly is already expired (DESIGN.md §8; pinned by
+// TestPledgeListExpiryBoundaryIsHalfOpen).
 //
 // Representation: a dense slice kept permanently in better() order (best
 // candidate first) by incremental insertion, rather than a map. Community
@@ -188,12 +191,32 @@ func (l *PledgeList) Get(id topology.NodeID) (Candidate, bool) {
 	return Candidate{}, false
 }
 
-// expire drops entries older than the TTL, compacting in place (order is
-// preserved — expiry is by At, independent of rank).
+// TTL returns the soft-state lifetime entries were created with.
+func (l *PledgeList) TTL() sim.Time { return l.ttl }
+
+// Each calls fn for every stored entry in better() order, including
+// entries that have aged past the TTL but have not yet been compacted.
+// Unlike Len/Best/Snapshot it performs NO expiry and NO allocation, so
+// external invariant checkers can inspect the list without perturbing
+// it. fn must not retain the candidate slice; returning false stops the
+// iteration.
+func (l *PledgeList) Each(fn func(Candidate) bool) {
+	for _, c := range l.entries {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// expire drops entries whose age has reached the TTL, compacting in
+// place (order is preserved — expiry is by At, independent of rank).
+// The comparison is strict: an entry is live while now-At < TTL and
+// expired at exactly now-At == TTL, matching the half-open validity
+// window documented on PledgeList.
 func (l *PledgeList) expire(now sim.Time) {
 	k := 0
 	for _, c := range l.entries {
-		if now-c.At <= l.ttl {
+		if now-c.At < l.ttl {
 			l.entries[k] = c
 			k++
 		}
