@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFileWellFormed(t *testing.T) {
+	// A result line split across two output events, plus noise lines —
+	// the shape test2json actually emits.
+	p := writeTemp(t, `{"Action":"run","Test":"BenchmarkFoo"}
+{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"BenchmarkFoo-8   \t     100\t"}
+{"Action":"output","Output":"  123.4 ns/op\t  56 B/op\t   7 allocs/op\n"}
+{"Action":"output","Output":"PASS\n"}
+{"Action":"pass","Test":"BenchmarkFoo"}
+`)
+	got, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["BenchmarkFoo"]
+	if !ok {
+		t.Fatalf("BenchmarkFoo missing from %v", got)
+	}
+	for unit, want := range map[string]float64{"ns/op": 123.4, "B/op": 56, "allocs/op": 7} {
+		if v := m.vals[unit]; v != want {
+			t.Errorf("%s = %v, want %v", unit, v, want)
+		}
+	}
+}
+
+func TestParseFileEmptyInput(t *testing.T) {
+	got, err := parseFile(writeTemp(t, ""))
+	if err != nil {
+		t.Fatalf("empty capture must parse cleanly, got %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty capture produced results: %v", got)
+	}
+	// Blank lines only, no events: also fine.
+	got, err = parseFile(writeTemp(t, "\n\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("blank capture: results %v err %v", got, err)
+	}
+}
+
+func TestParseFileMalformedJSON(t *testing.T) {
+	for _, bad := range []string{
+		`{"Action":"output","Output":"Bench`,       // truncated object
+		`not json at all`,                          // free text
+		`{"Action":"output","Output":"x"}` + "\n{", // valid line then garbage
+	} {
+		if _, err := parseFile(writeTemp(t, bad)); err == nil {
+			t.Errorf("malformed capture %q parsed without error", bad)
+		}
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := parseFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// Malformed *benchmark lines* inside well-formed JSON must be skipped,
+// not turned into bogus entries: parseBenchLine is the gatekeeper.
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"=== RUN   BenchmarkFoo",
+		"BenchmarkFoo-8",               // no fields after name
+		"BenchmarkFoo-8 abc 1 ns/op",   // iteration count not a number
+		"BenchmarkFoo-8 100 xyz ns/op", // value not a float
+		"PASS",
+		"ok  \trealtor/internal/sim\t0.5s",
+	} {
+		if name, _, ok := parseBenchLine(line); ok {
+			t.Errorf("noise line %q parsed as benchmark %q", line, name)
+		}
+	}
+	// And the canonical accept case, with GOMAXPROCS suffix stripped.
+	name, m, ok := parseBenchLine("BenchmarkBar-16 2000 512 ns/op 0 B/op")
+	if !ok || name != "BenchmarkBar" || m.vals["ns/op"] != 512 {
+		t.Fatalf("canonical line rejected: %q %v %v", name, m, ok)
+	}
+}
+
+func TestCPUSuffix(t *testing.T) {
+	for name, want := range map[string]int{
+		"BenchmarkFoo-8":  8,
+		"BenchmarkFoo-16": 16,
+		"BenchmarkFoo":    0,
+		"Benchmark-Bar":   0,
+	} {
+		if got := cpuSuffix(name); got != want {
+			t.Errorf("cpuSuffix(%q) = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Command realtor-fuzz is the deterministic scenario fuzzer's driver:
+// it sweeps generated scenarios (internal/fuzzscen) through the
+// invariant oracle, the fast-vs-reference differential, and optionally
+// the metamorphic relations, shrinks the first counterexample, and
+// prints it as replayable JSON.
+//
+// Usage:
+//
+//	realtor-fuzz -seed 1 -n 200             # oracle + differential sweep
+//	realtor-fuzz -n 50 -meta                # additionally check metamorphic relations
+//	realtor-fuzz -n 50 -mutant              # prove the harness: the seeded
+//	                                        # soft-state-expiry bug must be caught
+//	realtor-fuzz -replay counterexample.json
+//
+// The sweep is deterministic: seed k always produces scenario k, and
+// with -parallel > 1 the workers only change wall-clock time, never
+// which seeds fail or which counterexample is reported (always the
+// lowest failing seed). Exit status: 0 clean, 1 counterexample found
+// (or, with -mutant, mutant escaped), 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"realtor/internal/fuzzscen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type options struct {
+	invariants bool
+	diff       bool
+	meta       bool
+}
+
+// failure is one seed's verdict. Kind is which layer failed
+// ("invariant", "differential", "relabel", "capacity", "flood-scope",
+// or "mutant-escaped" in -mutant mode where *not* failing is the bug).
+type failure struct {
+	kind string
+	desc string
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("realtor-fuzz", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		seed       = fs.Int64("seed", 1, "first scenario seed (seeds seed..seed+n-1 are swept)")
+		n          = fs.Int("n", 100, "number of scenarios")
+		invariants = fs.Bool("invariants", true, "check protocol invariants with the oracle")
+		diff       = fs.Bool("diff", true, "check fast-vs-reference decision equality")
+		meta       = fs.Bool("meta", false, "check metamorphic relations (relabel, capacity, flood scope)")
+		mutant     = fs.Bool("mutant", false, "run the soft-state-expiry mutant and demand the oracle catches it")
+		minimize   = fs.Bool("minimize", true, "shrink the first counterexample before printing")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines")
+		replay     = fs.String("replay", "", "replay one scenario JSON file instead of generating")
+		verbose    = fs.Bool("v", false, "log every scenario")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n <= 0 || *parallel <= 0 {
+		fmt.Fprintln(errw, "realtor-fuzz: -n and -parallel must be positive")
+		return 2
+	}
+	opts := options{invariants: *invariants, diff: *diff, meta: *meta}
+
+	if *replay != "" {
+		return runReplay(*replay, opts, *mutant, out, errw)
+	}
+
+	// Sweep. Results land in a slice indexed by offset, so the report
+	// below is identical whatever the worker interleaving was.
+	verdicts := make([]*failure, *n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < *parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				verdicts[i] = checkSeed(*seed+int64(i), opts, *mutant)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	failures := 0
+	first := -1
+	for i, v := range verdicts {
+		if *verbose {
+			status := "ok"
+			if v != nil {
+				status = v.kind
+			}
+			fmt.Fprintf(out, "seed %d: %s\n", *seed+int64(i), status)
+		}
+		if v != nil {
+			failures++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+
+	if *mutant {
+		caught := *n - failures // in mutant mode a verdict means ESCAPED
+		fmt.Fprintf(out, "mutant sweep: %d scenarios, oracle caught the seeded bug in %d\n", *n, caught)
+		if caught == 0 {
+			fmt.Fprintln(out, "FAIL: the soft-state-expiry mutant escaped every scenario — the oracle has no teeth")
+			return 1
+		}
+		// Show one caught case as a replayable counterexample for the bug.
+		for i := range verdicts {
+			if verdicts[i] == nil {
+				reportMutantCatch(*seed+int64(i), *minimize, out)
+				break
+			}
+		}
+		return 0
+	}
+
+	fmt.Fprintf(out, "fuzz: %d scenarios (seeds %d..%d): %d failed\n",
+		*n, *seed, *seed+int64(*n)-1, failures)
+	if failures == 0 {
+		return 0
+	}
+	reportFailure(*seed+int64(first), verdicts[first], opts, *minimize, out)
+	return 1
+}
+
+// checkSeed runs every enabled layer on one generated scenario.
+// In mutant mode the return value is inverted territory: nil means the
+// oracle caught the mutant OR the scenario never tickled the bug;
+// a failure means the sweep position where the mutant escaped is moot —
+// mutant mode only needs one catch overall, handled by the caller.
+func checkSeed(seed int64, opts options, mutant bool) *failure {
+	s := fuzzscen.Generate(seed)
+	if mutant {
+		if fuzzscen.Run(s, fuzzscen.MutantBuilder(s)).Failed() {
+			return nil // caught: good
+		}
+		return &failure{kind: "mutant-escaped", desc: "scenario did not expose the seeded bug"}
+	}
+	return checkScenario(s, opts)
+}
+
+func checkScenario(s fuzzscen.Scenario, opts options) *failure {
+	if opts.invariants {
+		if out := fuzzscen.Run(s, fuzzscen.Builder(s)); out.Failed() {
+			return &failure{kind: "invariant", desc: violationText(out)}
+		}
+	}
+	if opts.diff {
+		if why, ok := fuzzscen.Differential(s); !ok {
+			return &failure{kind: "differential", desc: why}
+		}
+	}
+	if opts.meta {
+		if why, ok := fuzzscen.CheckRelabel(s, s.Seed+1<<32); !ok {
+			return &failure{kind: "relabel", desc: why}
+		}
+		if why, ok := fuzzscen.CheckCapacity(s); !ok {
+			return &failure{kind: "capacity", desc: why}
+		}
+		if why, ok := fuzzscen.CheckFloodScope(s); !ok {
+			return &failure{kind: "flood-scope", desc: why}
+		}
+	}
+	return nil
+}
+
+func violationText(out fuzzscen.Outcome) string {
+	text := ""
+	for i, v := range out.Violations {
+		if i == 5 {
+			text += fmt.Sprintf("  … %d more\n", len(out.Violations)-5+out.Dropped)
+			break
+		}
+		text += "  " + v.String() + "\n"
+	}
+	return text
+}
+
+// reportFailure prints the lowest failing seed's counterexample,
+// re-shrinking it under the predicate of the layer that failed.
+func reportFailure(seed int64, f *failure, opts options, minimize bool, out io.Writer) {
+	s := fuzzscen.Generate(seed)
+	fmt.Fprintf(out, "\nseed %d failed the %s layer:\n%s\n", seed, f.kind, f.desc)
+	if minimize {
+		fails := func(c fuzzscen.Scenario) bool { return checkScenario(c, opts) != nil }
+		s = fuzzscen.Shrink(s, fails)
+		fmt.Fprintf(out, "shrunk counterexample (%d events, %.0fs):\n", len(s.Events), s.Duration)
+	} else {
+		fmt.Fprintln(out, "counterexample:")
+	}
+	fmt.Fprintln(out, s.JSON())
+	fmt.Fprintln(out, "replay with: realtor-fuzz -replay <file containing the JSON above>")
+}
+
+// reportMutantCatch shrinks and prints the scenario on which the oracle
+// caught the seeded soft-state-expiry bug — the demonstration that a
+// real protocol defect yields a minimal replayable schedule.
+func reportMutantCatch(seed int64, minimize bool, out io.Writer) {
+	s := fuzzscen.Generate(seed)
+	fails := func(c fuzzscen.Scenario) bool {
+		return fuzzscen.Run(c, fuzzscen.MutantBuilder(c)).Failed()
+	}
+	if minimize {
+		s = fuzzscen.Shrink(s, fails)
+	}
+	res := fuzzscen.Run(s, fuzzscen.MutantBuilder(s))
+	fmt.Fprintf(out, "first catching seed %d; violations on the shrunk schedule:\n%s", seed, violationText(res))
+	fmt.Fprintln(out, s.JSON())
+}
+
+func runReplay(path string, opts options, mutant bool, out, errw io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
+		return 2
+	}
+	s, err := fuzzscen.Decode(data)
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
+		return 2
+	}
+	if mutant {
+		res := fuzzscen.Run(s, fuzzscen.MutantBuilder(s))
+		if !res.Failed() {
+			fmt.Fprintln(out, "replay (mutant): no violations")
+			return 1
+		}
+		fmt.Fprintf(out, "replay (mutant): %d violations\n%s", len(res.Violations), violationText(res))
+		return 0
+	}
+	if f := checkScenario(s, opts); f != nil {
+		fmt.Fprintf(out, "replay: %s layer failed:\n%s\n", f.kind, f.desc)
+		return 1
+	}
+	fmt.Fprintln(out, "replay: clean")
+	return 0
+}

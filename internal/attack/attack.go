@@ -180,18 +180,11 @@ func (x Exhaust) Apply(e *engine.Engine) {
 	for t := x.At; t < x.Until; t += x.Interval {
 		at := t
 		e.Scheduler().At(at, func(now sim.Time) {
-			n := e.Node(x.Target)
-			if !n.Alive() {
-				return
-			}
-			// Fill whatever headroom exists; ignore failure when full.
-			if h := n.Headroom(now); h > 0 {
-				chunk := x.Chunk
-				if chunk > h {
-					chunk = h
-				}
-				n.Accept(now, chunk)
-			}
+			// Inject goes through the engine's admission bookkeeping so
+			// threshold-crossing detection (and hence the victim's own
+			// pledge retraction) sees the bogus load; it caps the chunk
+			// at the available headroom and no-ops on dead/full nodes.
+			e.Inject(now, x.Target, x.Chunk)
 		})
 	}
 }

@@ -1,0 +1,543 @@
+// Package check turns the REALTOR protocol invariants — stated
+// informally in the paper and pinned in DESIGN.md §8 — into an
+// executable runtime oracle. The Oracle attaches to an engine's trace
+// and observer hooks and continuously asserts:
+//
+//	I1  HELP rate-limiting: consecutive HELP floods from one node are
+//	    separated by strictly more than the live HELP_interval
+//	    (Algorithm H, "at least HELP_interval apart").
+//	I2  Pledge propriety: a PLEDGE advertising positive headroom is sent
+//	    only while the sender's usage is at or below the threshold, and
+//	    the advertised headroom equals the sender's actual headroom; a
+//	    retraction (headroom ≤ 0) is sent only at or above the threshold
+//	    (Algorithm P's crossing rule).
+//	I3  Soft-state freshness: a migration try targets only a node whose
+//	    pledge-list entry exists and is younger than EntryTTL — no
+//	    organizer uses a pledge older than its refresh window.
+//	I4  State provenance / membership symmetry: every organizer-side
+//	    pledge entry is justified by a delivered PLEDGE/ADVERT from that
+//	    member (matching timestamp, headroom never above what was
+//	    advertised), and every member-side membership is justified by a
+//	    delivered HELP from that organizer within the membership window.
+//	I5  Conservation: every arrived task resolves to exactly one of
+//	    admit-local, migrate-ok, or reject — none lost, none duplicated.
+//	I6  Partition safety: no message send crosses a cut recorded by the
+//	    topology trace (checked against an independent shadow graph).
+//	I7  Multiplicative bounds: HELP_interval stays inside
+//	    [HelpMin, HelpUpper] and changes only via the penalty/reward
+//	    steps of Algorithm H (interval frozen while both counters are).
+//	I8  Crossing alternation: cross-up and cross-down events on one node
+//	    strictly alternate, resetting on node death.
+//
+// The oracle is read-only: it inspects protocol state exclusively
+// through the non-perturbing accessors (EachPledge, EachMembership,
+// HelpIntervalState) so attaching it cannot change a run's trajectory.
+package check
+
+import (
+	"fmt"
+
+	"realtor/internal/engine"
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/trace"
+)
+
+// eps absorbs float64 rounding in resource comparisons. Times and
+// counters are compared exactly — the simulator is deterministic.
+const eps = 1e-9
+
+// ProtocolState is the read-only window a Discovery implementation must
+// expose for the oracle to audit it. core.Realtor and the slow
+// Reference implementation in this package both satisfy it; protocol
+// instances that don't (the push/gossip baselines) are simply skipped.
+type ProtocolState interface {
+	Config() protocol.Config
+	EachPledge(fn func(protocol.Candidate) bool)
+	EachMembership(fn func(org topology.NodeID, expiry sim.Time) bool)
+	HelpIntervalState() (interval sim.Time, penalties, rewards uint64)
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	At        sim.Time        `json:"at"`
+	Invariant string          `json:"invariant"`
+	Node      topology.NodeID `json:"node"`
+	Detail    string          `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.4f [%s] node %d: %s", float64(v.At), v.Invariant, v.Node, v.Detail)
+}
+
+// pair keys the directed relationship between two nodes.
+type pair struct {
+	a, b topology.NodeID
+}
+
+// sendRec remembers the last justified availability push b→a.
+type sendRec struct {
+	at       sim.Time
+	headroom float64
+}
+
+// span tracks the first and last time an event was observed for a pair.
+type span struct {
+	first, last sim.Time
+	seen        bool
+}
+
+// Oracle asserts the protocol invariants against one engine run. Wire
+// it in as both the engine's trace recorder and observer (see Attach),
+// run the engine, then call Finish and inspect Violations / Err.
+type Oracle struct {
+	e   *engine.Engine
+	n   int
+	max int
+
+	violations []Violation
+	dropped    int // violations beyond max
+
+	// I1/I7 per-node Algorithm H observations.
+	helpSeen []bool
+	lastHelp []sim.Time
+	ivSeen   []bool
+	lastIv   []sim.Time
+	lastPen  []uint64
+	lastRew  []uint64
+
+	// I8 crossing alternation.
+	above []bool
+
+	// I5 conservation: multiset of unresolved task sizes.
+	pending  map[float64]int
+	arrivals uint64
+	resolved uint64
+
+	// I4 provenance. pledges[(org,member)] is the last delivered
+	// positive-headroom PLEDGE/ADVERT member→org; helps[(member,org)]
+	// spans the HELP deliveries org→member.
+	pledges map[pair]sendRec
+	helps   map[pair]span
+
+	// I6 shadow topology, maintained solely from trace events.
+	shadow *topology.Graph
+}
+
+// MaxViolations bounds how many violations an oracle retains (further
+// ones are counted but not stored), so a badly broken run cannot OOM
+// the harness.
+const MaxViolations = 100
+
+// NewOracle returns an oracle bound to e. The engine must not have run
+// yet: the oracle snapshots the pristine topology as its shadow graph.
+func NewOracle(e *engine.Engine) *Oracle {
+	n := e.Graph().N()
+	return &Oracle{
+		e:        e,
+		n:        n,
+		max:      MaxViolations,
+		helpSeen: make([]bool, n),
+		lastHelp: make([]sim.Time, n),
+		ivSeen:   make([]bool, n),
+		lastIv:   make([]sim.Time, n),
+		lastPen:  make([]uint64, n),
+		lastRew:  make([]uint64, n),
+		above:    make([]bool, n),
+		pending:  make(map[float64]int),
+		pledges:  make(map[pair]sendRec),
+		helps:    make(map[pair]span),
+		shadow:   e.Graph().Clone(),
+	}
+}
+
+// Hooks is the indirection that resolves the construction cycle
+// between engine and oracle: the engine wants its trace recorder and
+// observer at construction time, while the oracle needs the built
+// engine to inspect node and protocol state. Point the config at a
+// Hooks value, build the engine, then Bind the oracle:
+//
+//	h := &check.Hooks{}
+//	cfg.Trace, cfg.Observer = h, h
+//	e := engine.New(cfg, builder)
+//	o := check.NewOracle(e)
+//	h.Bind(o)
+//
+// The optional Trace/Observer fields fan events out to an additional
+// consumer (e.g. a DecisionLog) alongside the oracle.
+type Hooks struct {
+	o *Oracle
+
+	// Also, when set, forward to an additional recorder/observer so a
+	// caller can keep its own trace alongside the oracle.
+	Trace    trace.Recorder
+	Observer engine.Observer
+}
+
+var _ trace.Recorder = (*Hooks)(nil)
+var _ engine.Observer = (*Hooks)(nil)
+
+// Bind points the forwarder at a constructed oracle.
+func (h *Hooks) Bind(o *Oracle) { h.o = o }
+
+// Record implements trace.Recorder.
+func (h *Hooks) Record(ev trace.Event) {
+	if h.o != nil {
+		h.o.Record(ev)
+	}
+	if h.Trace != nil {
+		h.Trace.Record(ev)
+	}
+}
+
+// OnSend implements engine.Observer.
+func (h *Hooks) OnSend(now sim.Time, from, to topology.NodeID, m protocol.Message) {
+	if h.o != nil {
+		h.o.OnSend(now, from, to, m)
+	}
+	if h.Observer != nil {
+		h.Observer.OnSend(now, from, to, m)
+	}
+}
+
+// OnDeliver implements engine.Observer.
+func (h *Hooks) OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message) {
+	if h.o != nil {
+		h.o.OnDeliver(now, to, m)
+	}
+	if h.Observer != nil {
+		h.Observer.OnDeliver(now, to, m)
+	}
+}
+
+// fail records a violation.
+func (o *Oracle) fail(at sim.Time, inv string, node topology.NodeID, format string, args ...any) {
+	if len(o.violations) >= o.max {
+		o.dropped++
+		return
+	}
+	o.violations = append(o.violations, Violation{
+		At: at, Invariant: inv, Node: node, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Violations returns the recorded breaches (empty on a clean run).
+func (o *Oracle) Violations() []Violation { return o.violations }
+
+// Dropped returns how many violations exceeded the retention cap.
+func (o *Oracle) Dropped() int { return o.dropped }
+
+// Err returns nil on a clean run, or an error describing the first
+// violation (and the total count).
+func (o *Oracle) Err() error {
+	if len(o.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s); first: %s",
+		len(o.violations)+o.dropped, o.violations[0])
+}
+
+// state returns the auditable protocol state on a node, or nil.
+func (o *Oracle) state(id topology.NodeID) ProtocolState {
+	s, _ := o.e.Discovery(id).(ProtocolState)
+	return s
+}
+
+// Record implements trace.Recorder: the oracle's view of engine-level
+// decisions (arrivals, admissions, migrations, crossings, churn).
+func (o *Oracle) Record(ev trace.Event) {
+	switch ev.Kind {
+	case trace.Arrival:
+		o.arrivals++
+		o.pending[ev.Size]++
+
+	case trace.AdmitLocal, trace.MigrateOK, trace.Reject:
+		// I5: exactly-once resolution, keyed by task size (sizes are
+		// continuous draws; multiset semantics keep duplicates sound).
+		o.resolved++
+		if o.pending[ev.Size] <= 0 {
+			o.fail(ev.At, "I5-conservation", ev.Node,
+				"%s for size %.9g without a matching unresolved arrival (duplicate outcome?)",
+				ev.Kind, ev.Size)
+			return
+		}
+		o.pending[ev.Size]--
+		if o.pending[ev.Size] == 0 {
+			delete(o.pending, ev.Size)
+		}
+
+	case trace.MigrateTry:
+		o.checkFreshTarget(ev.At, ev.Node, ev.Peer)
+
+	case trace.MsgSend:
+		if ev.Info == "flood-HELP" {
+			o.checkHelpFlood(ev.At, ev.Node)
+		}
+
+	case trace.CrossUp:
+		if o.above[ev.Node] {
+			o.fail(ev.At, "I8-crossing", ev.Node, "cross-up while already above threshold")
+		}
+		o.above[ev.Node] = true
+
+	case trace.CrossDown:
+		if !o.above[ev.Node] {
+			o.fail(ev.At, "I8-crossing", ev.Node, "cross-down while not above threshold")
+		}
+		o.above[ev.Node] = false
+
+	case trace.NodeKill:
+		// Protocol state is dropped on death; a revived node runs a
+		// fresh instance with a reset governor and crossing state.
+		o.above[ev.Node] = false
+		o.helpSeen[ev.Node] = false
+		o.ivSeen[ev.Node] = false
+
+	case trace.NodeRevive:
+		o.helpSeen[ev.Node] = false
+		o.ivSeen[ev.Node] = false
+
+	case trace.LinkCut:
+		o.shadow.CutLink(ev.Node, ev.Peer)
+
+	case trace.LinkRestore:
+		o.shadow.RestoreLink(ev.Node, ev.Peer)
+	}
+}
+
+// checkHelpFlood asserts I1 and I7 at the instant a HELP flood is
+// emitted. The engine traces the flood from inside MaybeHelpFor before
+// lastSent/interval mutate, so the live interval read here is exactly
+// the value the rate-limit decision used.
+func (o *Oracle) checkHelpFlood(now sim.Time, node topology.NodeID) {
+	s := o.state(node)
+	if s == nil {
+		return
+	}
+	iv, pen, rew := s.HelpIntervalState()
+	if o.helpSeen[node] {
+		if gap := now - o.lastHelp[node]; gap <= iv {
+			o.fail(now, "I1-help-rate", node,
+				"HELP flood %.6g s after the previous one, within HELP_interval %.6g",
+				float64(gap), float64(iv))
+		}
+	}
+	o.helpSeen[node] = true
+	o.lastHelp[node] = now
+	o.checkInterval(now, node, s, iv, pen, rew)
+}
+
+// checkInterval asserts I7 against the last observation of this node's
+// governor state.
+func (o *Oracle) checkInterval(now sim.Time, node topology.NodeID, s ProtocolState,
+	iv sim.Time, pen, rew uint64) {
+	cfg := s.Config()
+	if iv < cfg.HelpMin-eps || iv > cfg.HelpUpper+eps {
+		o.fail(now, "I7-interval-bounds", node,
+			"HELP_interval %.6g outside [%.6g, %.6g]",
+			float64(iv), float64(cfg.HelpMin), float64(cfg.HelpUpper))
+	}
+	if o.ivSeen[node] {
+		p0, r0, iv0 := o.lastPen[node], o.lastRew[node], o.lastIv[node]
+		switch {
+		case pen == p0 && rew == r0:
+			if iv != iv0 {
+				o.fail(now, "I7-interval-bounds", node,
+					"HELP_interval changed %.6g→%.6g with no penalty/reward step",
+					float64(iv0), float64(iv))
+			}
+		case pen > p0 && rew == r0:
+			if iv <= iv0-eps {
+				o.fail(now, "I7-interval-bounds", node,
+					"penalty step shrank HELP_interval %.6g→%.6g", float64(iv0), float64(iv))
+			}
+		case rew > r0 && pen == p0:
+			if iv >= iv0+eps {
+				o.fail(now, "I7-interval-bounds", node,
+					"reward step grew HELP_interval %.6g→%.6g", float64(iv0), float64(iv))
+			}
+		case pen < p0 || rew < r0:
+			o.fail(now, "I7-interval-bounds", node,
+				"penalty/reward counters went backwards (%d→%d, %d→%d)", p0, pen, r0, rew)
+		}
+	}
+	o.ivSeen[node] = true
+	o.lastIv[node], o.lastPen[node], o.lastRew[node] = iv, pen, rew
+}
+
+// checkFreshTarget asserts I3: the migration target chosen by `from`
+// must be backed by a live, unexpired pledge-list entry.
+func (o *Oracle) checkFreshTarget(now sim.Time, from, target topology.NodeID) {
+	s := o.state(from)
+	if s == nil {
+		return
+	}
+	ttl := s.Config().EntryTTL
+	var entry protocol.Candidate
+	found := false
+	s.EachPledge(func(c protocol.Candidate) bool {
+		if c.ID == target {
+			entry, found = c, true
+			return false
+		}
+		return true
+	})
+	switch {
+	case !found:
+		o.fail(now, "I3-soft-state-expiry", from,
+			"migration try to node %d without a pledge-list entry (stale or fabricated candidate)",
+			target)
+	case now-entry.At >= ttl:
+		o.fail(now, "I3-soft-state-expiry", from,
+			"migration try to node %d using a pledge aged %.6g ≥ EntryTTL %.6g",
+			target, float64(now-entry.At), float64(ttl))
+	}
+}
+
+// OnSend implements engine.Observer: asserts I2 (pledge propriety) and
+// I6 (partition safety) on every message actually scheduled.
+func (o *Oracle) OnSend(now sim.Time, from, to topology.NodeID, m protocol.Message) {
+	// I6: the engine claims from→to is reachable; verify on the shadow
+	// graph maintained independently from link-cut/restore trace events.
+	if o.shadow.Dist(from, to) < 0 {
+		o.fail(now, "I6-partition-safety", from,
+			"message %s sent to node %d across a recorded cut", m.Kind, to)
+	}
+	if m.Kind != protocol.Pledge {
+		return
+	}
+	s := o.state(from)
+	if s == nil {
+		return
+	}
+	thr := s.Config().Threshold
+	node := o.e.Node(from)
+	usage := node.Usage(now)
+	if m.Headroom > 0 {
+		if usage > thr+eps {
+			o.fail(now, "I2-pledge-propriety", from,
+				"positive pledge (headroom %.6g) while usage %.6g above threshold %.6g",
+				m.Headroom, usage, thr)
+		}
+		if actual := node.Headroom(now); m.Headroom > actual+eps || m.Headroom < actual-eps {
+			o.fail(now, "I2-pledge-propriety", from,
+				"pledged headroom %.6g but actual headroom is %.6g", m.Headroom, actual)
+		}
+	} else if usage < thr-eps {
+		o.fail(now, "I2-pledge-propriety", from,
+			"retraction pledge while usage %.6g below threshold %.6g", usage, thr)
+	}
+}
+
+// OnDeliver implements engine.Observer: audits the receiving node's
+// soft state (I4) against what was delivered so far, then records the
+// new delivery. The audit runs BEFORE recording because the observer
+// fires before Discovery.Deliver mutates the state: the pre-delivery
+// state must be justified by the pre-delivery history.
+func (o *Oracle) OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message) {
+	switch m.Kind {
+	case protocol.Pledge, protocol.Advert:
+		o.auditPledgeList(now, to)
+		if m.Headroom > 0 {
+			o.pledges[pair{to, m.From}] = sendRec{at: now, headroom: m.Headroom}
+		}
+	case protocol.Help:
+		o.auditMemberships(now, to)
+		sp := o.helps[pair{to, m.From}]
+		if !sp.seen {
+			sp.first, sp.seen = now, true
+		}
+		sp.last = now
+		o.helps[pair{to, m.From}] = sp
+	}
+}
+
+// auditPledgeList asserts I4's organizer side for node org: every
+// stored entry must match the last delivered positive pledge from that
+// member — same timestamp, headroom never above what was advertised
+// (Debit only lowers it).
+func (o *Oracle) auditPledgeList(now sim.Time, org topology.NodeID) {
+	s := o.state(org)
+	if s == nil {
+		return
+	}
+	s.EachPledge(func(c protocol.Candidate) bool {
+		rec, ok := o.pledges[pair{org, c.ID}]
+		switch {
+		case !ok:
+			o.fail(now, "I4-provenance", org,
+				"pledge-list entry for node %d with no delivered pledge behind it", c.ID)
+		case c.At != rec.at:
+			o.fail(now, "I4-provenance", org,
+				"entry for node %d stamped t=%.6g but last delivered pledge was t=%.6g",
+				c.ID, float64(c.At), float64(rec.at))
+		case c.Headroom > rec.headroom+eps:
+			o.fail(now, "I4-provenance", org,
+				"entry for node %d advertises headroom %.6g > delivered %.6g",
+				c.ID, c.Headroom, rec.headroom)
+		}
+		return true
+	})
+}
+
+// auditMemberships asserts I4's member side for node member: every
+// membership's join instant (expiry − MembershipTTL) must fall within
+// the span of HELP deliveries received from that organizer.
+func (o *Oracle) auditMemberships(now sim.Time, member topology.NodeID) {
+	s := o.state(member)
+	if s == nil {
+		return
+	}
+	ttl := s.Config().MembershipTTL
+	s.EachMembership(func(org topology.NodeID, expiry sim.Time) bool {
+		join := expiry - ttl
+		sp := o.helps[pair{member, org}]
+		switch {
+		case !sp.seen:
+			o.fail(now, "I4-provenance", member,
+				"membership in community %d with no delivered HELP behind it", org)
+		case join < sp.first-eps || join > sp.last+eps:
+			o.fail(now, "I4-provenance", member,
+				"membership in community %d joined at t=%.6g outside HELP span [%.6g, %.6g]",
+				org, float64(join), float64(sp.first), float64(sp.last))
+		case join > now+eps:
+			o.fail(now, "I4-provenance", member,
+				"membership in community %d joined in the future (t=%.6g > now %.6g)",
+				org, float64(join), float64(now))
+		}
+		return true
+	})
+}
+
+// Finish runs the end-of-run checks: conservation must balance and the
+// final per-node soft state must still be justified. Call it after
+// engine.Run returns, passing the scheduler's final clock.
+func (o *Oracle) Finish(now sim.Time) {
+	if len(o.pending) != 0 {
+		unresolved := 0
+		for _, n := range o.pending {
+			unresolved += n
+		}
+		o.fail(now, "I5-conservation", -1,
+			"%d task(s) arrived but never resolved (admit/reject missing)", unresolved)
+	}
+	if o.resolved != o.arrivals && len(o.pending) == 0 {
+		// Balanced multiset but unequal totals means duplicates matched
+		// losses; the per-event checks above will have flagged them.
+		o.fail(now, "I5-conservation", -1,
+			"resolved %d outcomes for %d arrivals", o.resolved, o.arrivals)
+	}
+	for i := 0; i < o.n; i++ {
+		id := topology.NodeID(i)
+		if !o.e.Node(id).Alive() {
+			continue
+		}
+		o.auditPledgeList(now, id)
+		o.auditMemberships(now, id)
+		if s := o.state(id); s != nil {
+			iv, pen, rew := s.HelpIntervalState()
+			o.checkInterval(now, id, s, iv, pen, rew)
+		}
+	}
+}

@@ -432,6 +432,15 @@ func (r *Realtor) Governor() *HelpGovernor { return r.gov }
 // invariant checkers can evaluate the protocol against its own spec.
 func (r *Realtor) Config() protocol.Config { return r.cfg }
 
+// HelpIntervalState returns the live Algorithm H adaptation state —
+// current HELP_interval and the penalty/reward counters — in one call,
+// so invariant checkers can assert the multiplicative bounds without
+// depending on the concrete governor type (the slow reference
+// implementation in internal/check exposes the same tuple).
+func (r *Realtor) HelpIntervalState() (interval sim.Time, penalties, rewards uint64) {
+	return r.gov.Interval(), r.gov.Penalties(), r.gov.Rewards()
+}
+
 // EachPledge iterates the organizer-side availability list read-only:
 // fn sees every stored entry (including ones aged past the TTL that have
 // not been compacted yet) in better() order. No expiry, no allocation —

@@ -90,6 +90,13 @@ type Config struct {
 	// task class without touching the aggregate stats.
 	OnOutcome func(t workload.Task, admitted bool)
 
+	// Observer, when set, sees every protocol message the engine
+	// schedules and delivers, with full message contents — unlike Trace
+	// events, which carry only metadata. This is the hook the invariant
+	// oracle in internal/check attaches to. Nil costs one pointer
+	// comparison on the hot path.
+	Observer Observer
+
 	// Seed drives engine-internal choices (dead-arrival rerouting).
 	Seed int64
 }
@@ -129,6 +136,23 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Observer receives protocol messages at the two points the engine
+// handles them. Both callbacks run synchronously inside the event loop
+// and must not mutate engine state.
+//
+//   - OnSend fires when a delivery is actually scheduled: after the
+//     live-overlay reachability check (a send to an unreachable node is
+//     a partition drop, not a send) and before the probabilistic loss
+//     draw, so the observer sees every message that legitimately left
+//     the sender — including ones the lossy network will eat.
+//   - OnDeliver fires when the message reaches a live destination (the
+//     same instant Discovery.Deliver runs); messages to nodes that died
+//     or restarted in flight are never reported.
+type Observer interface {
+	OnSend(now sim.Time, from, to topology.NodeID, m protocol.Message)
+	OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message)
 }
 
 // Builder constructs a fresh Discovery instance (one per node, and again
@@ -707,6 +731,29 @@ func (c *crossing) Fire(at sim.Time) {
 	e.disco[id].OnUsageCrossing(false)
 }
 
+// Inject adds up to size seconds of bogus work to node id's queue
+// through the same bookkeeping as a real admission — threshold-crossing
+// detection included — without touching the task statistics. This is
+// the hook resource-exhaustion attacks must use: filling a queue behind
+// the engine's back would leave the crossing state stale, and the
+// protocol would keep pledging headroom the node no longer has (the
+// invariant oracle's I2 check catches exactly that). Returns the amount
+// actually injected (0 when the node is dead or full).
+func (e *Engine) Inject(now sim.Time, id topology.NodeID, size float64) float64 {
+	n := e.nodes[id]
+	if !n.Alive() || size <= 0 {
+		return 0
+	}
+	if h := n.Headroom(now); size > h {
+		size = h
+	}
+	if size <= 0 || !n.Accept(now, size) {
+		return 0
+	}
+	e.afterAccept(now, id)
+	return size
+}
+
 // Kill takes a node down: its queue is discarded, its protocol state is
 // dropped, pending timers are disarmed, and it stops receiving messages.
 func (e *Engine) Kill(id topology.NodeID) {
@@ -879,6 +926,9 @@ func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
 			Info: "partition"})
 		return
 	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnSend(e.sched.Now(), v.id, to, m)
+	}
 	if e.cfg.LossProb > 0 && e.rnd.Bernoulli(e.cfg.LossProb) {
 		return // datagram lost in transit
 	}
@@ -905,12 +955,15 @@ type delivery struct {
 
 // Fire implements sim.Runner: deliver (unless the destination restarted
 // or died in flight) and return self to the engine's pool.
-func (d *delivery) Fire(sim.Time) {
+func (d *delivery) Fire(at sim.Time) {
 	e, to, gen, m := d.e, d.to, d.gen, d.m
 	d.m = protocol.Message{} // drop any View slice reference
 	d.next = e.freeDeliveries
 	e.freeDeliveries = d
 	if e.gen[to] == gen && e.nodes[to].Alive() {
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnDeliver(at, to, m)
+		}
 		e.disco[to].Deliver(m)
 	}
 }

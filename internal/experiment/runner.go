@@ -56,7 +56,13 @@ func resolveWorkers(hint int) int {
 // A panic inside a job (experiment code panics on configuration errors)
 // is captured and re-raised on the calling goroutine once all workers
 // have drained, so callers see the familiar propagation instead of a
-// crashed worker.
+// crashed worker. The first panic also cancels the sweep: workers stop
+// claiming new cells, because the aggregate result is already doomed
+// and a mis-configured sweep of expensive cells should not grind on for
+// minutes before reporting. Cells already in flight finish (their
+// engines own no external resources, so abandoning mid-cell buys
+// nothing); in the 1-worker path the panic propagates directly, which
+// cancels the remaining cells for free.
 func forEach(n, workersHint int, job func(i int)) {
 	if n <= 0 {
 		return
@@ -74,6 +80,7 @@ func forEach(n, workersHint int, job func(i int)) {
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
+		stop     atomic.Bool  // set on first panic: no new cells
 		panicked atomic.Value // first captured panic, if any
 	)
 	wg.Add(w)
@@ -81,6 +88,9 @@ func forEach(n, workersHint int, job func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -89,6 +99,7 @@ func forEach(n, workersHint int, job func(i int)) {
 					defer func() {
 						if r := recover(); r != nil {
 							panicked.CompareAndSwap(nil, fmt.Sprintf("experiment: worker panic on cell %d: %v", i, r))
+							stop.Store(true)
 						}
 					}()
 					job(i)

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A panic must cancel the sweep: once a cell blows up, workers stop
+// claiming new cells instead of grinding through the rest of a doomed
+// run. Cell 0 panics instantly; every other cell sleeps briefly, so if
+// cancellation works the pool dies with only the handful of cells that
+// were already in flight — and if it does not, all 400 run and the
+// counter gives it away.
+func TestForEachPanicCancelsSweep(t *testing.T) {
+	const n = 400
+	var ran atomic.Int64
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic was swallowed")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "cell 0") {
+				t.Fatalf("panic payload %v does not name the failing cell", r)
+			}
+		}()
+		forEach(n, 2, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("sweep-abort")
+			}
+			time.Sleep(time.Millisecond)
+		})
+	}()
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("%d of %d cells ran after the panic; sweep was not cancelled", got, n)
+	}
+}
+
+// The sequential path (1 worker) propagates the panic raw and
+// mid-sweep: cells after the panicking one must never start.
+func TestForEachSequentialPanicStopsImmediately(t *testing.T) {
+	var ran []int
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic was swallowed")
+			}
+		}()
+		forEach(10, 1, func(i int) {
+			ran = append(ran, i)
+			if i == 3 {
+				panic("stop")
+			}
+		})
+	}()
+	if len(ran) != 4 || ran[3] != 3 {
+		t.Fatalf("sequential sweep ran cells %v, want exactly 0..3", ran)
+	}
+}
+
+// Cancellation must not change the happy path: every cell still runs
+// exactly once when nothing panics (regression guard for the stop-flag
+// fast path in the claim loop).
+func TestForEachStopFlagDoesNotSkipCells(t *testing.T) {
+	const n = 97
+	var ran atomic.Int64
+	forEach(n, 8, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d of %d cells ran", got, n)
+	}
+}

@@ -1,0 +1,192 @@
+// Metamorphic relations: properties that must hold between RELATED runs
+// even when no single run has a checkable ground truth.
+//
+//	Relabel   — renaming the nodes (a graph isomorphism applied to the
+//	            topology, the workload, and the fault schedule) must
+//	            leave the admission ratio essentially unchanged. Not
+//	            exactly: scheduler tie-breaking and flood iteration
+//	            order are label-dependent, so two isomorphic runs may
+//	            resolve same-instant races differently. The tolerance
+//	            absorbs that noise; a systematic label dependence (e.g.
+//	            an algorithm favouring low IDs for correctness, not just
+//	            tie-breaks) still trips it.
+//	Capacity  — growing every queue must not materially reduce
+//	            admissions: more room can never be worse than less,
+//	            up to race-resolution noise.
+//	FloodScope— widening a scoped flood's radius must only add
+//	            recipients: every pledge a narrow flood gathers, the
+//	            wide flood must gather too (exact, set inclusion).
+package fuzzscen
+
+import (
+	"fmt"
+	"sort"
+
+	"realtor/internal/attack"
+	"realtor/internal/check"
+	"realtor/internal/engine"
+	"realtor/internal/metrics"
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+// RelabelTolerance bounds the admission-probability shift a pure node
+// renaming may cause. Calibrated over the generator's scenario space:
+// observed shifts are race-resolution noise well under this; a protocol
+// that *semantically* depends on node labels shifts far more.
+const RelabelTolerance = 0.12
+
+// relabelMinOffered skips the relabel comparison for runs too quiet for
+// a ratio to be meaningful.
+const relabelMinOffered = 30
+
+// CheckRelabel runs the scenario and an isomorphic copy under the node
+// permutation drawn from permSeed, and compares admission
+// probabilities. Loss is disabled for both runs (loss draws are
+// consumed in send order, which a relabeling permutes — the noise would
+// swamp the signal), and churn events are dropped from both (LinkChurn
+// picks links by index, which is not label-equivariant).
+// Returns ("", true) on success or a description of the violation.
+func CheckRelabel(s Scenario, permSeed int64) (string, bool) {
+	g := s.Graph()
+	n := g.N()
+	p := rng.New(permSeed).Derive("relabel").Perm(n)
+
+	base := s
+	base.LossProb = 0
+	base.Events = dropChurn(base.Events)
+	baseStats := plainRun(base, g, base.Attacks(), base.Workload(g))
+	if baseStats.Offered < relabelMinOffered {
+		return "", true // too quiet to compare ratios
+	}
+
+	// Isomorphic copy: permuted links, permuted arrival nodes, permuted
+	// fault targets. Same scalar parameters.
+	pg := topology.NewGraph(n)
+	for _, l := range g.LinkList() {
+		pg.AddLink(topology.NodeID(p[l[0]]), topology.NodeID(p[l[1]]))
+	}
+	permEvents := make([]Event, len(base.Events))
+	for i, ev := range base.Events {
+		pe := ev
+		switch ev.Op {
+		case "kill", "flap", "exhaust":
+			pe.Node = p[ev.Node]
+		case "cut":
+			pe.A, pe.B = p[ev.A], p[ev.B]
+		}
+		permEvents[i] = pe
+	}
+	perm := base
+	perm.Events = permEvents
+	src := workload.NewMap(base.Workload(pg), func(t workload.Task) workload.Task {
+		t.Node = topology.NodeID(p[t.Node])
+		return t
+	})
+	permStats := plainRun(perm, pg, perm.Attacks(), src)
+
+	a, b := baseStats.AdmissionProbability(), permStats.AdmissionProbability()
+	if diff := a - b; diff > RelabelTolerance || diff < -RelabelTolerance {
+		return fmt.Sprintf("relabel shifted admission probability %.4f -> %.4f (|Δ| > %.2f)",
+			a, b, RelabelTolerance), false
+	}
+	return "", true
+}
+
+func dropChurn(evs []Event) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Op != "churn" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CapacityGrowth is the queue-capacity multiplier CheckCapacity applies.
+const CapacityGrowth = 1.5
+
+// CheckCapacity reruns the scenario with every queue CapacityGrowth
+// times larger and requires admissions not to drop by more than
+// race-resolution slack: max(3, 5% of offered).
+func CheckCapacity(s Scenario) (string, bool) {
+	g := s.Graph()
+	baseStats := plainRun(s, g, s.Attacks(), s.Workload(g))
+
+	grown := s
+	grown.QueueCapacity = s.QueueCapacity * CapacityGrowth
+	g2 := grown.Graph()
+	grownStats := plainRun(grown, g2, grown.Attacks(), grown.Workload(g2))
+
+	slack := uint64(3)
+	if pct := baseStats.Offered / 20; pct > slack {
+		slack = pct
+	}
+	if grownStats.Admitted+slack < baseStats.Admitted {
+		return fmt.Sprintf("%.0f%% more capacity admitted fewer tasks: %d -> %d (offered %d, slack %d)",
+			(CapacityGrowth-1)*100, baseStats.Admitted, grownStats.Admitted,
+			baseStats.Offered, slack), false
+	}
+	return "", true
+}
+
+// CheckFloodScope builds the scenario's topology twice — flood radius 1
+// and flood radius 2 — seeds node 0 with a tiny queue so one arrival
+// forces a HELP flood, lets the pledges come home, and requires the
+// narrow run's pledge set to be a subset of the wide run's. Exact: both
+// runs are quiescent except for the one flood, so there is no race
+// noise to tolerate.
+func CheckFloodScope(s Scenario) (string, bool) {
+	gather := func(radius int) ([]topology.NodeID, bool) {
+		g := s.Graph()
+		cfg := s.EngineConfig(g)
+		cfg.LossProb = 0
+		cfg.FloodRadius = radius
+		cfg.Capacities = make([]float64, g.N())
+		for i := range cfg.Capacities {
+			cfg.Capacities[i] = s.QueueCapacity
+		}
+		cfg.Capacities[0] = 1 // any task > Threshold*1 triggers Algorithm H
+		e := engine.New(cfg, Builder(s))
+		e.Discovery(0).OnArrival(2)
+		e.Scheduler().RunUntil(5)
+		st, ok := e.Discovery(0).(check.ProtocolState)
+		if !ok {
+			return nil, false
+		}
+		var ids []topology.NodeID
+		st.EachPledge(func(c protocol.Candidate) bool {
+			ids = append(ids, c.ID)
+			return true
+		})
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids, true
+	}
+	narrow, ok := gather(1)
+	if !ok {
+		return "protocol does not expose ProtocolState; flood-scope check needs it", false
+	}
+	wide, _ := gather(2)
+	w := make(map[topology.NodeID]bool, len(wide))
+	for _, id := range wide {
+		w[id] = true
+	}
+	for _, id := range narrow {
+		if !w[id] {
+			return fmt.Sprintf("radius-1 flood gathered a pledge from n%d that the radius-2 flood lost (narrow %v, wide %v)",
+				id, narrow, wide), false
+		}
+	}
+	return "", true
+}
+
+// plainRun executes one engine run with no instrumentation.
+func plainRun(s Scenario, g *topology.Graph, attacks []attack.Scenario, src workload.Source) metrics.RunStats {
+	e := engine.New(s.EngineConfig(g), Builder(s))
+	for _, a := range attacks {
+		a.Apply(e)
+	}
+	return e.Run(src)
+}

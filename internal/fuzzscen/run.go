@@ -1,0 +1,95 @@
+// Running scenarios: under the invariant oracle (Run) and through the
+// fast/reference differential pair (Differential). Both are pure
+// functions of the Scenario, so any reported failure replays exactly.
+package fuzzscen
+
+import (
+	"fmt"
+
+	"realtor/internal/check"
+	"realtor/internal/core"
+	"realtor/internal/engine"
+	"realtor/internal/metrics"
+	"realtor/internal/protocol"
+)
+
+// Outcome is what one oracle-checked run yields.
+type Outcome struct {
+	Stats      metrics.RunStats
+	Violations []check.Violation
+	Dropped    int // violations beyond check.MaxViolations
+}
+
+// Failed reports whether the oracle flagged anything.
+func (o Outcome) Failed() bool { return len(o.Violations) > 0 }
+
+// Builder returns the honest fast-path protocol builder for a scenario.
+func Builder(s Scenario) engine.Builder {
+	cfg := s.ProtocolConfig()
+	return func() protocol.Discovery { return core.New(cfg) }
+}
+
+// ReferenceBuilder returns the slow reference twin's builder.
+func ReferenceBuilder(s Scenario) engine.Builder {
+	cfg := s.ProtocolConfig()
+	return func() protocol.Discovery { return check.NewReference(cfg) }
+}
+
+// MutantBuilder returns the soft-state-expiry mutant's builder — the
+// seeded bug used to prove the oracle (and this fuzzer) can catch real
+// protocol defects.
+func MutantBuilder(s Scenario) engine.Builder {
+	cfg := s.ProtocolConfig()
+	return func() protocol.Discovery { return check.NewStaleRealtor(cfg) }
+}
+
+// Run executes one scenario with the invariant oracle attached and
+// returns its verdict. The builder selects the protocol under test
+// (Builder for the honest path, MutantBuilder for mutation testing).
+func Run(s Scenario, build engine.Builder) Outcome {
+	g := s.Graph()
+	h := &check.Hooks{}
+	cfg := s.EngineConfig(g)
+	cfg.Trace = h
+	cfg.Observer = h
+	e := engine.New(cfg, build)
+	o := check.NewOracle(e)
+	h.Bind(o)
+	for _, a := range s.Attacks() {
+		a.Apply(e)
+	}
+	stats := e.Run(s.Workload(g))
+	o.Finish(e.Scheduler().Now())
+	return Outcome{Stats: stats, Violations: o.Violations(), Dropped: o.Dropped()}
+}
+
+// Differential replays the scenario through core.Realtor and through
+// check.Reference and compares the complete decision sequences. It
+// returns ("", true) when the two implementations are bit-identical,
+// or a description of the first divergence.
+func Differential(s Scenario) (string, bool) {
+	fast, fastStats := runLogged(s, Builder(s))
+	ref, refStats := runLogged(s, ReferenceBuilder(s))
+	if _, why := check.CompareLogs(fast, ref); why != "" {
+		return why, false
+	}
+	if fastStats != refStats {
+		return fmt.Sprintf("identical decision logs but diverging stats:\n fast %+v\n ref  %+v",
+			fastStats, refStats), false
+	}
+	return "", true
+}
+
+func runLogged(s Scenario, build engine.Builder) (*check.DecisionLog, metrics.RunStats) {
+	g := s.Graph()
+	log := &check.DecisionLog{}
+	cfg := s.EngineConfig(g)
+	cfg.Trace = log
+	cfg.Observer = log
+	e := engine.New(cfg, build)
+	for _, a := range s.Attacks() {
+		a.Apply(e)
+	}
+	stats := e.Run(s.Workload(g))
+	return log, stats
+}
