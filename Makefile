@@ -3,7 +3,7 @@ BENCH_JSON ?= BENCH_2.json
 BENCH_BASELINE ?= BENCH_1.json
 PROFILE_FIG ?= 5
 
-.PHONY: all build vet fmt-check verify test race bench bench-json bench-compare profile fuzz fuzz-smoke cover-check results quick-results clean
+.PHONY: all build vet fmt-check verify test race bench bench-json bench-compare profile fuzz fuzz-smoke parity-smoke cover-check results quick-results clean
 
 all: build vet test
 
@@ -72,6 +72,16 @@ fuzz-smoke:
 	$(GO) run ./cmd/realtor-fuzz -seed 1 -n 500
 	$(GO) run ./cmd/realtor-fuzz -seed 1 -n 150 -meta
 	$(GO) run ./cmd/realtor-fuzz -seed 1 -n 100 -mutant
+
+# Sim/live parity smoke (CI gate, well under 2 minutes): the invariant
+# oracle must stay silent on live-cluster replays of generated
+# scenarios, the seeded mutant must be caught on the live backend too,
+# and one fault-free scenario must agree across sim and live within the
+# documented tolerance bands (EXPERIMENTS.md V2) at a high clock scale.
+parity-smoke:
+	$(GO) run ./cmd/realtor-fuzz -backend live -n 5
+	$(GO) run ./cmd/realtor-fuzz -backend live -n 10 -mutant
+	$(GO) run ./cmd/realtor-fuzz -parity -n 1 -seed 13 -scale 200
 
 # Total line coverage with a pinned floor. The post-PR-4 baseline was
 # 76.2%; the cushion absorbs run-to-run noise from timing-dependent

@@ -10,6 +10,7 @@
 //	realtor-cluster -hosts 20 -queue 50 -scale 200 -duration 300
 //	realtor-cluster -study deadlines       # EDF vs FIFO deadline misses
 //	realtor-cluster -study attack          # kill hosts mid-run, watch recovery
+//	realtor-cluster -trace run.jsonl       # record the unified event stream
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"time"
 
 	"realtor/internal/agile"
+	"realtor/internal/harness"
+	"realtor/internal/trace"
 	"realtor/internal/transportfactory"
 )
 
@@ -36,6 +39,7 @@ func main() {
 	study := flag.String("study", "fig9", "measurement: fig9 (admission), deadlines (EDF vs FIFO), or attack (live survivability)")
 	slack := flag.Float64("slack", 2, "deadline slack in mean task sizes (deadlines study)")
 	victims := flag.Int("victims", 5, "hosts killed in the attack study")
+	traceFile := flag.String("trace", "", "write the unified harness event stream as JSON Lines to this file (same format realtor-trace -json emits)")
 	flag.Parse()
 
 	cfg := agile.DefaultConfig()
@@ -43,6 +47,20 @@ func main() {
 	cfg.QueueCapacity = *queue
 	cfg.TimeScale = *scale
 	cfg.NegotiationTimeout = 250 * time.Millisecond
+
+	var traceOut *trace.JSONL
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "realtor-cluster:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		// JSONL serializes internally; NewLocked guards any recorder that
+		// does not, so the live hosts may emit concurrently either way.
+		traceOut = trace.NewJSONL(f)
+		cfg.Trace = trace.NewLocked(traceOut)
+	}
 
 	mk, err := transportfactory.New(*transportName)
 	if err != nil {
@@ -89,20 +107,27 @@ func main() {
 		for i := range ids {
 			ids[i] = i
 		}
-		st := agile.AttackStudy{Victims: ids, KillAt: *duration / 3, ReviveAt: 2 * *duration / 3}
+		st := harness.AttackStudy{Victims: ids, KillAt: *duration / 3, ReviveAt: 2 * *duration / 3}
 		lambda := ls[len(ls)-1] // use the highest requested rate
 		fmt.Printf("# Live survivability: %d hosts, %d killed during the middle third,\n",
 			*hosts, *victims)
 		fmt.Printf("# λ=%g, task mean=%gs, transport=%s\n", lambda, *meanSize, *transportName)
-		res, err := agile.RunLiveAttack(cfg, st, lambda, *meanSize, *duration,
+		res, err := harness.RunLiveAttack(cfg, st, lambda, *meanSize, *duration,
 			*duration/10, *seed, mk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "realtor-cluster:", err)
 			os.Exit(1)
 		}
-		fmt.Print(agile.AttackTable(res, *duration/10))
+		fmt.Print(harness.AttackTable(res, *duration/10))
 	default:
 		fmt.Fprintf(os.Stderr, "realtor-cluster: unknown study %q\n", *study)
 		os.Exit(2)
+	}
+
+	if traceOut != nil {
+		if err := traceOut.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "realtor-cluster: trace:", err)
+			os.Exit(1)
+		}
 	}
 }

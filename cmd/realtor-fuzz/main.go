@@ -10,13 +10,21 @@
 //	realtor-fuzz -n 50 -meta                # additionally check metamorphic relations
 //	realtor-fuzz -n 50 -mutant              # prove the harness: the seeded
 //	                                        # soft-state-expiry bug must be caught
+//	realtor-fuzz -backend live -n 25        # replay scenarios on the live
+//	                                        # goroutine cluster under the oracle
+//	realtor-fuzz -parity -n 5 -scale 200    # run each scenario on BOTH backends
+//	                                        # and compare aggregate metrics
 //	realtor-fuzz -replay counterexample.json
 //
-// The sweep is deterministic: seed k always produces scenario k, and
+// The sim sweep is deterministic: seed k always produces scenario k, and
 // with -parallel > 1 the workers only change wall-clock time, never
 // which seeds fail or which counterexample is reported (always the
-// lowest failing seed). Exit status: 0 clean, 1 counterexample found
-// (or, with -mutant, mutant escaped), 2 usage error.
+// lowest failing seed). The live backend runs real goroutines on a
+// scaled wall clock, so its runs are reproducible only statistically;
+// -diff and -meta are sim-only and are disabled automatically, and
+// -parallel is capped so concurrent clusters do not distort each other's
+// timing. Exit status: 0 clean, 1 counterexample found (or, with
+// -mutant, mutant escaped), 2 usage error.
 package main
 
 import (
@@ -28,6 +36,8 @@ import (
 	"sync"
 
 	"realtor/internal/fuzzscen"
+	"realtor/internal/harness"
+	"realtor/internal/sim"
 )
 
 func main() {
@@ -38,11 +48,17 @@ type options struct {
 	invariants bool
 	diff       bool
 	meta       bool
+	parity     bool
+
+	backend harness.Backend // oracle-checked runs execute here
+	live    harness.Backend // parity's live leg (nil unless -parity)
+	tol     harness.Tolerance
 }
 
 // failure is one seed's verdict. Kind is which layer failed
 // ("invariant", "differential", "relabel", "capacity", "flood-scope",
-// or "mutant-escaped" in -mutant mode where *not* failing is the bug).
+// "parity", "harness" for backend plumbing errors, or "mutant-escaped"
+// in -mutant mode where *not* failing is the bug).
 type failure struct {
 	kind string
 	desc string
@@ -55,13 +71,19 @@ func run(args []string, out, errw io.Writer) int {
 		seed       = fs.Int64("seed", 1, "first scenario seed (seeds seed..seed+n-1 are swept)")
 		n          = fs.Int("n", 100, "number of scenarios")
 		invariants = fs.Bool("invariants", true, "check protocol invariants with the oracle")
-		diff       = fs.Bool("diff", true, "check fast-vs-reference decision equality")
-		meta       = fs.Bool("meta", false, "check metamorphic relations (relabel, capacity, flood scope)")
+		diff       = fs.Bool("diff", true, "check fast-vs-reference decision equality (sim only)")
+		meta       = fs.Bool("meta", false, "check metamorphic relations (relabel, capacity, flood scope; sim only)")
 		mutant     = fs.Bool("mutant", false, "run the soft-state-expiry mutant and demand the oracle catches it")
-		minimize   = fs.Bool("minimize", true, "shrink the first counterexample before printing")
+		minimize   = fs.Bool("minimize", true, "shrink the first counterexample before printing (sim backend only)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines")
 		replay     = fs.String("replay", "", "replay one scenario JSON file instead of generating")
 		verbose    = fs.Bool("v", false, "log every scenario")
+
+		backendName = fs.String("backend", "sim", "execution backend: sim (discrete-event) or live (goroutine cluster)")
+		parity      = fs.Bool("parity", false, "run each scenario on sim AND live and compare aggregate metrics")
+		scale       = fs.Float64("scale", 0, "live backend: scaled seconds per wall second (0 = default 50)")
+		slack       = fs.Float64("slack", 0, "live backend: oracle clock slack in scaled seconds (0 = default 0.02*scale)")
+		transport   = fs.String("transport", "chan", "live backend transport: chan, udp or tcp")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,7 +92,33 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "realtor-fuzz: -n and -parallel must be positive")
 		return 2
 	}
-	opts := options{invariants: *invariants, diff: *diff, meta: *meta}
+
+	lcfg := harness.LiveConfig{TimeScale: *scale, Transport: *transport, Slack: sim.Time(*slack)}
+	opts := options{invariants: *invariants, diff: *diff, meta: *meta, tol: harness.DefaultTolerance()}
+	switch *backendName {
+	case "sim":
+		opts.backend = harness.Sim()
+	case "live":
+		opts.backend = harness.Live(lcfg)
+	default:
+		fmt.Fprintf(errw, "realtor-fuzz: unknown backend %q (want sim or live)\n", *backendName)
+		return 2
+	}
+	if *parity {
+		opts.parity = true
+		opts.live = harness.Live(lcfg)
+	}
+	liveInvolved := opts.parity || opts.backend.Name() != "sim"
+	if liveInvolved {
+		// The differential and the metamorphic relations replay through
+		// the sequential engine with full decision logs; they are
+		// meaningless (and wasteful) when the subject is the live cluster.
+		opts.diff, opts.meta = false, false
+		if *parallel > 2 {
+			*parallel = 2 // concurrent clusters distort each other's wall clock
+		}
+		*minimize = false // shrinking needs a deterministic failure predicate
+	}
 
 	if *replay != "" {
 		return runReplay(*replay, opts, *mutant, out, errw)
@@ -116,7 +164,8 @@ func run(args []string, out, errw io.Writer) int {
 
 	if *mutant {
 		caught := *n - failures // in mutant mode a verdict means ESCAPED
-		fmt.Fprintf(out, "mutant sweep: %d scenarios, oracle caught the seeded bug in %d\n", *n, caught)
+		fmt.Fprintf(out, "mutant sweep (%s): %d scenarios, oracle caught the seeded bug in %d\n",
+			opts.backend.Name(), *n, caught)
 		if caught == 0 {
 			fmt.Fprintln(out, "FAIL: the soft-state-expiry mutant escaped every scenario — the oracle has no teeth")
 			return 1
@@ -124,15 +173,19 @@ func run(args []string, out, errw io.Writer) int {
 		// Show one caught case as a replayable counterexample for the bug.
 		for i := range verdicts {
 			if verdicts[i] == nil {
-				reportMutantCatch(*seed+int64(i), *minimize, out)
+				reportMutantCatch(*seed+int64(i), opts, *minimize, out)
 				break
 			}
 		}
 		return 0
 	}
 
-	fmt.Fprintf(out, "fuzz: %d scenarios (seeds %d..%d): %d failed\n",
-		*n, *seed, *seed+int64(*n)-1, failures)
+	mode := opts.backend.Name()
+	if opts.parity {
+		mode = "parity"
+	}
+	fmt.Fprintf(out, "fuzz (%s): %d scenarios (seeds %d..%d): %d failed\n",
+		mode, *n, *seed, *seed+int64(*n)-1, failures)
 	if failures == 0 {
 		return 0
 	}
@@ -148,7 +201,8 @@ func run(args []string, out, errw io.Writer) int {
 func checkSeed(seed int64, opts options, mutant bool) *failure {
 	s := fuzzscen.Generate(seed)
 	if mutant {
-		if fuzzscen.Run(s, fuzzscen.MutantBuilder(s)).Failed() {
+		res, err := harness.RunChecked(opts.backend, s, fuzzscen.MutantBuilder(s))
+		if err == nil && res.Failed() {
 			return nil // caught: good
 		}
 		return &failure{kind: "mutant-escaped", desc: "scenario did not expose the seeded bug"}
@@ -157,8 +211,22 @@ func checkSeed(seed int64, opts options, mutant bool) *failure {
 }
 
 func checkScenario(s fuzzscen.Scenario, opts options) *failure {
+	if opts.parity {
+		rep, err := harness.Parity(s, opts.live, fuzzscen.Builder(s), opts.tol)
+		if err != nil {
+			return &failure{kind: "harness", desc: err.Error()}
+		}
+		if !rep.OK() {
+			return &failure{kind: "parity", desc: rep.Table()}
+		}
+		return nil
+	}
 	if opts.invariants {
-		if out := fuzzscen.Run(s, fuzzscen.Builder(s)); out.Failed() {
+		out, err := harness.RunChecked(opts.backend, s, fuzzscen.Builder(s))
+		if err != nil {
+			return &failure{kind: "harness", desc: err.Error()}
+		}
+		if out.Failed() {
 			return &failure{kind: "invariant", desc: violationText(out)}
 		}
 	}
@@ -181,7 +249,7 @@ func checkScenario(s fuzzscen.Scenario, opts options) *failure {
 	return nil
 }
 
-func violationText(out fuzzscen.Outcome) string {
+func violationText(out harness.Outcome) string {
 	text := ""
 	for i, v := range out.Violations {
 		if i == 5 {
@@ -211,17 +279,25 @@ func reportFailure(seed int64, f *failure, opts options, minimize bool, out io.W
 
 // reportMutantCatch shrinks and prints the scenario on which the oracle
 // caught the seeded soft-state-expiry bug — the demonstration that a
-// real protocol defect yields a minimal replayable schedule.
-func reportMutantCatch(seed int64, minimize bool, out io.Writer) {
+// real protocol defect yields a minimal replayable schedule. Shrinking
+// replays on the sweep's backend, so it is only enabled for the
+// deterministic simulator.
+func reportMutantCatch(seed int64, opts options, minimize bool, out io.Writer) {
 	s := fuzzscen.Generate(seed)
-	fails := func(c fuzzscen.Scenario) bool {
-		return fuzzscen.Run(c, fuzzscen.MutantBuilder(c)).Failed()
+	mutantFails := func(c fuzzscen.Scenario) bool {
+		res, err := harness.RunChecked(opts.backend, c, fuzzscen.MutantBuilder(c))
+		return err == nil && res.Failed()
 	}
 	if minimize {
-		s = fuzzscen.Shrink(s, fails)
+		s = fuzzscen.Shrink(s, mutantFails)
 	}
-	res := fuzzscen.Run(s, fuzzscen.MutantBuilder(s))
-	fmt.Fprintf(out, "first catching seed %d; violations on the shrunk schedule:\n%s", seed, violationText(res))
+	res, err := harness.RunChecked(opts.backend, s, fuzzscen.MutantBuilder(s))
+	if err != nil {
+		fmt.Fprintf(out, "first catching seed %d (replay failed: %v)\n", seed, err)
+		return
+	}
+	fmt.Fprintf(out, "first catching seed %d; violations on the %s schedule:\n%s",
+		seed, map[bool]string{true: "shrunk", false: "caught"}[minimize], violationText(res))
 	fmt.Fprintln(out, s.JSON())
 }
 
@@ -237,7 +313,11 @@ func runReplay(path string, opts options, mutant bool, out, errw io.Writer) int 
 		return 2
 	}
 	if mutant {
-		res := fuzzscen.Run(s, fuzzscen.MutantBuilder(s))
+		res, err := harness.RunChecked(opts.backend, s, fuzzscen.MutantBuilder(s))
+		if err != nil {
+			fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
+			return 2
+		}
 		if !res.Failed() {
 			fmt.Fprintln(out, "replay (mutant): no violations")
 			return 1

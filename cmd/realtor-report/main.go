@@ -27,6 +27,7 @@ import (
 
 	"realtor/internal/agile"
 	"realtor/internal/experiment"
+	"realtor/internal/harness"
 	"realtor/internal/protocol"
 	"realtor/internal/sim"
 	"realtor/internal/transportfactory"
@@ -204,15 +205,15 @@ func main() {
 
 	lcfg := acfg
 	lcfg.Hosts = 12
-	att, err := agile.RunLiveAttack(lcfg,
-		agile.AttackStudy{Victims: []int{0, 1, 2, 3}, KillAt: liveDur / 3, ReviveAt: 2 * liveDur / 3},
+	att, err := harness.RunLiveAttack(lcfg,
+		harness.AttackStudy{Victims: []int{0, 1, 2, 3}, KillAt: liveDur / 3, ReviveAt: 2 * liveDur / 3},
 		4, 5, liveDur, liveDur/10, *seed, mk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "realtor-report:", err)
 		os.Exit(1)
 	}
 	write("live_attack.txt", "# L1 live survivability: 4 of 12 hosts down for the middle third\n"+
-		agile.AttackTable(att, liveDur/10))
+		harness.AttackTable(att, liveDur/10))
 
 	var idx strings.Builder
 	idx.WriteString("# Experiment outputs\n\n")

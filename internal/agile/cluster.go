@@ -3,6 +3,7 @@ package agile
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"realtor/internal/agile/naming"
@@ -11,6 +12,8 @@ import (
 	"realtor/internal/metrics"
 	"realtor/internal/protocol"
 	"realtor/internal/rng"
+	"realtor/internal/trace"
+	"realtor/internal/workload"
 )
 
 // Config describes a live cluster. The Figure 9 defaults are 20 hosts and
@@ -53,6 +56,20 @@ type Config struct {
 	// which EDF degenerates to FIFO (constant slack makes deadline order
 	// equal arrival order). 0 means the Drive default of 10.
 	DeadlineSlack float64
+
+	// Trace optionally receives the same event vocabulary the simulator
+	// emits (arrivals, admissions, migrations, crossings, node churn).
+	// Events fire concurrently from every host's actor goroutine, so the
+	// recorder must serialize internally (wrap with trace.NewLocked).
+	Trace trace.Recorder
+
+	// Observer optionally receives every protocol message at its
+	// send/deliver/drop points plus queue injections — the same
+	// full-payload surface as engine.Config.Observer. Callbacks fire on
+	// the emitting host's actor goroutine; implementations must
+	// serialize internally, and may read that host's (and only that
+	// host's) actor-confined state.
+	Observer trace.MessageObserver
 }
 
 // DefaultConfig returns the Figure 9 setup.
@@ -92,6 +109,13 @@ type Cluster struct {
 	binMu    sync.Mutex
 	binWidth float64
 	bins     []TimelineBin
+
+	// Protocol-message counters, mirroring the simulator's accounting:
+	// floods count once per flood, unicasts once per message.
+	helpMsgs    atomic.Uint64
+	pledgeMsgs  atomic.Uint64
+	advertMsgs  atomic.Uint64
+	controlMsgs atomic.Uint64
 }
 
 // TimelineBin is one interval of the live admission timeline.
@@ -174,6 +198,25 @@ func (c *Cluster) toWall(scaled float64) time.Duration {
 	return time.Duration(scaled / c.cfg.TimeScale * float64(time.Second))
 }
 
+// Now returns the scaled cluster clock in seconds — the live
+// counterpart of the simulator's sim.Time axis.
+func (c *Cluster) Now() float64 { return c.now() }
+
+// ToWall converts a scaled duration (seconds) to wall-clock time, for
+// callers scheduling external events (fault schedules) against the
+// cluster clock.
+func (c *Cluster) ToWall(scaled float64) time.Duration { return c.toWall(scaled) }
+
+// emit records one trace event if a recorder is configured.
+func (c *Cluster) emit(ev trace.Event) {
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(ev)
+	}
+}
+
+// N returns the number of hosts.
+func (c *Cluster) N() int { return len(c.hosts) }
+
 // Host returns host id.
 func (c *Cluster) Host(id int) *Host { return c.hosts[id] }
 
@@ -247,7 +290,44 @@ func (c *Cluster) RunStats() metrics.RunStats {
 	if st.Offered >= rejected {
 		st.Admitted = st.Offered - rejected
 	}
+	st.HelpMsgs = c.helpMsgs.Load()
+	st.PledgeMsgs = c.pledgeMsgs.Load()
+	st.AdvertMsgs = c.advertMsgs.Load()
+	st.ControlMsgs = c.controlMsgs.Load()
 	return st
+}
+
+// countFlood/countUnicast mirror the simulator's message accounting.
+func (c *Cluster) countFlood(k protocol.Kind) {
+	switch k {
+	case protocol.Help:
+		c.helpMsgs.Add(1)
+	case protocol.Advert:
+		c.advertMsgs.Add(1)
+	case protocol.Pledge:
+		c.pledgeMsgs.Add(1)
+	}
+}
+
+func (c *Cluster) countUnicast(k protocol.Kind) {
+	switch k {
+	case protocol.Pledge:
+		c.pledgeMsgs.Add(1)
+	case protocol.Help, protocol.Relay:
+		c.helpMsgs.Add(1)
+	case protocol.Advert:
+		c.advertMsgs.Add(1)
+	}
+}
+
+// settle sleeps long enough for queued commands, in-flight negotiations
+// (including MaxTries retry chains) and their timeouts to resolve.
+func (c *Cluster) settle() {
+	tries := c.cfg.MaxTries
+	if tries <= 0 {
+		tries = 1
+	}
+	time.Sleep(time.Duration(tries+1)*c.cfg.NegotiationTimeout + 50*time.Millisecond)
 }
 
 // Drive submits a Poisson workload: system-wide rate lambda (in scaled
@@ -291,7 +371,36 @@ func (c *Cluster) Drive(lambda, meanSize, duration float64, seed int64) metrics.
 		}
 		c.hosts[hosts.Intn(len(c.hosts))].Submit(comp)
 	}
-	// Let queued commands, negotiations and timeouts settle.
-	time.Sleep(2*c.cfg.NegotiationTimeout + 50*time.Millisecond)
+	c.settle()
+	return c.RunStats()
+}
+
+// DriveSource replays a pre-built workload source on the live cluster:
+// each task arrives at its scaled Arrive instant on its designated node,
+// exactly as the simulator's engine.Run consumes the same source (the
+// drive stops at the first task with Arrive ≥ duration, matching the
+// engine's cutoff, so Offered counts agree run-for-run). Deadlines are
+// not modelled — the simulator has none — and task Require attributes
+// are ignored (the live fabric is attribute-free). It blocks until all
+// arrivals are submitted and in-flight negotiations settle, then
+// returns the aggregated stats. The cluster remains running.
+func (c *Cluster) DriveSource(src workload.Source, duration float64) metrics.RunStats {
+	if duration <= 0 {
+		panic("agile: drive duration must be positive")
+	}
+	start := c.now()
+	for {
+		t, ok := src.Next()
+		if !ok || float64(t.Arrive) >= duration {
+			break
+		}
+		if delta := start + float64(t.Arrive) - c.now(); delta > 0 {
+			time.Sleep(c.toWall(delta))
+		}
+		// Task IDs are shifted by one so a source emitting ID 0 cannot
+		// collide with "unregistered" sentinels anywhere downstream.
+		c.hosts[int(t.Node)].Submit(Component{ID: t.ID + 1, Cost: t.Size})
+	}
+	c.settle()
 	return c.RunStats()
 }

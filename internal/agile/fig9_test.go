@@ -46,26 +46,6 @@ func TestRunFigure9ShapeQuick(t *testing.T) {
 	}
 }
 
-func TestTransportFactoryUnknown(t *testing.T) {
-	if _, err := transportfactory.New("carrier-pigeon"); err == nil {
-		t.Fatal("unknown transport accepted")
-	}
-	for _, name := range []string{"chan", "udp", "tcp"} {
-		mk, err := transportfactory.New(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		nw, err := mk(3)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if nw.N() != 3 {
-			t.Fatalf("%s: endpoints %d", name, nw.N())
-		}
-		nw.Close()
-	}
-}
-
 func TestDeadlineStudyConsistency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live study")
@@ -119,53 +99,5 @@ func TestDeadlineStudyConsistency(t *testing.T) {
 	tab := DeadlineTable(res)
 	if !strings.Contains(tab, "miss-rate") || !strings.Contains(tab, "max-late") {
 		t.Fatalf("table malformed:\n%s", tab)
-	}
-}
-
-func TestRunLiveAttackTimeline(t *testing.T) {
-	if testing.Short() {
-		t.Skip("live study")
-	}
-	cfg := DefaultConfig()
-	cfg.Hosts = 6
-	cfg.TimeScale = 400
-	cfg.NegotiationTimeout = 100 * time.Millisecond
-	mk, _ := transportfactory.New("chan")
-	study := AttackStudy{Victims: []int{0, 1}, KillAt: 100, ReviveAt: 200}
-	// λ·mean = 10 s/s on 6 (then 4) hosts: healthy ≈ fine, attacked ≈ overloaded.
-	res, err := RunLiveAttack(cfg, study, 2, 5, 300, 50, 3, mk)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := res.Stats.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Timeline) < 5 {
-		t.Fatalf("timeline bins %d", len(res.Timeline))
-	}
-	var before, during float64 = 1, 1
-	for _, b := range res.Timeline {
-		switch {
-		case b.Start < 100:
-			before = min(before, b.AdmissionProbability())
-		case b.Start >= 100 && b.Start < 200:
-			during = min(during, b.AdmissionProbability())
-		}
-	}
-	if during >= before {
-		t.Fatalf("no admission dip during live attack: before=%v during=%v", before, during)
-	}
-	tab := AttackTable(res, 50)
-	if !strings.Contains(tab, "interval") || !strings.Contains(tab, "victims") {
-		t.Fatalf("attack table malformed:\n%s", tab)
-	}
-}
-
-func TestRunLiveAttackBadVictim(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Hosts = 3
-	mk, _ := transportfactory.New("chan")
-	if _, err := RunLiveAttack(cfg, AttackStudy{Victims: []int{9}}, 1, 5, 10, 5, 1, mk); err == nil {
-		t.Fatal("out-of-range victim accepted")
 	}
 }

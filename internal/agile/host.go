@@ -23,6 +23,7 @@ import (
 	"realtor/internal/protocol"
 	"realtor/internal/sim"
 	"realtor/internal/topology"
+	"realtor/internal/trace"
 )
 
 // Component is a migratable unit of work: in the paper's measurement
@@ -103,8 +104,9 @@ type Host struct {
 	crossing   *time.Timer
 	drainTimer *time.Timer // fires when the queue is expected to empty
 
-	admSeq  uint64
-	pending map[uint64]*pendingMigration
+	admSeq    uint64
+	pending   map[uint64]*pendingMigration
+	injectSeq uint64
 
 	killed bool
 
@@ -176,7 +178,15 @@ func (h *Host) loop() {
 				return
 			}
 			if h.killed {
-				continue // a downed host drops traffic on the floor
+				// A downed host drops traffic on the floor; account for
+				// protocol messages so the conservation ledger balances.
+				if pkt.Disc != nil {
+					if o := h.cluster.cfg.Observer; o != nil {
+						o.OnDrop(sim.Time(h.now()), topology.NodeID(pkt.From),
+							topology.NodeID(h.id), *pkt.Disc, trace.DropDead)
+					}
+				}
+				continue
 			}
 			h.handlePacket(pkt)
 		}
@@ -186,12 +196,18 @@ func (h *Host) loop() {
 // Kill takes the host down without stopping its actor: the queue is
 // discarded (work in flight is lost, as on a crashed machine), protocol
 // soft state is dropped, and incoming traffic is ignored until Revive.
+// Negotiations this host originated resolve as rejections — a crashed
+// origin can never place its components, and leaving them unresolved
+// would both leak a timeline outcome and break task conservation (I5).
 func (h *Host) Kill() {
 	h.post(func() {
 		if h.killed {
 			return
 		}
 		h.killed = true
+		now := h.now()
+		h.cluster.emit(trace.Event{At: sim.Time(now), Kind: trace.NodeKill,
+			Node: topology.NodeID(h.id), Peer: -1})
 		h.drain()
 		for {
 			j, ok := h.queue.Pop()
@@ -211,6 +227,11 @@ func (h *Host) Kill() {
 		for seq, pm := range h.pending {
 			pm.timer.Stop()
 			delete(h.pending, seq)
+			h.Stats.RejectedRun.Add(1)
+			h.cluster.emit(trace.Event{At: sim.Time(now), Kind: trace.Reject,
+				Node: topology.NodeID(h.id), Peer: -1, Size: pm.comp.Cost, Info: "origin-died"})
+			h.deregisterIfLocal(pm.comp.ID)
+			h.cluster.recordOutcome(pm.at, false)
 		}
 		h.disco.OnNodeDeath()
 	})
@@ -225,6 +246,8 @@ func (h *Host) Revive() {
 		}
 		h.killed = false
 		h.lastDrain = h.now()
+		h.cluster.emit(trace.Event{At: sim.Time(h.lastDrain), Kind: trace.NodeRevive,
+			Node: topology.NodeID(h.id), Peer: -1})
 		if h.cluster.cfg.Discovery != nil {
 			h.disco = h.cluster.cfg.Discovery()
 		} else {
@@ -276,9 +299,15 @@ func (h *Host) usage() float64 { return h.queue.Backlog() / h.queue.Capacity() }
 func (h *Host) Submit(c Component) {
 	at := h.now()
 	h.post(func() {
+		now := h.now()
+		self := topology.NodeID(h.id)
 		h.Stats.Offered.Add(1)
+		h.cluster.emit(trace.Event{At: sim.Time(now), Kind: trace.Arrival,
+			Node: self, Peer: -1, Size: c.Cost})
 		if h.killed {
 			h.Stats.RejectedRun.Add(1) // arrivals at a downed host are lost
+			h.cluster.emit(trace.Event{At: sim.Time(now), Kind: trace.Reject,
+				Node: self, Peer: -1, Size: c.Cost, Info: "dead-node"})
 			h.cluster.recordOutcome(at, false)
 			return
 		}
@@ -289,6 +318,8 @@ func (h *Host) Submit(c Component) {
 		h.disco.OnArrival(c.Cost)
 		if h.acceptLocal(c) {
 			h.Stats.Admitted.Add(1)
+			h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.AdmitLocal,
+				Node: self, Peer: -1, Size: c.Cost})
 			h.cluster.recordOutcome(at, true)
 			return
 		}
@@ -348,6 +379,8 @@ func (h *Host) afterAccept() {
 	}
 	if !h.above {
 		h.above = true
+		h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.CrossUp,
+			Node: topology.NodeID(h.id), Peer: -1})
 		h.disco.OnUsageCrossing(true)
 	}
 	if h.crossing != nil {
@@ -359,6 +392,8 @@ func (h *Host) afterAccept() {
 			h.drain()
 			if h.above && h.usage() <= h.cluster.cfg.Protocol.Threshold {
 				h.above = false
+				h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.CrossDown,
+					Node: topology.NodeID(h.id), Peer: -1})
 				h.disco.OnUsageCrossing(false)
 			}
 		})
@@ -374,17 +409,22 @@ func (h *Host) afterAccept() {
 // instead of launching a duplicate, and a destination rejects any
 // request whose observed version is stale.
 func (h *Host) tryMigrate(c Component, at float64, attempt int) {
+	self := topology.NodeID(h.id)
 	entry, registered := h.cluster.naming.Get(c.ID)
 	if registered && entry.Host != naming.HostID(h.id) {
 		// A previous attempt's grant was delivered to the destination but
 		// its response never reached us: the component is already placed.
 		h.Stats.MigratedOut.Add(1)
+		h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.MigrateOK,
+			Node: self, Peer: topology.NodeID(entry.Host), Size: c.Cost, Info: "late-grant"})
 		h.cluster.recordOutcome(at, true)
 		return
 	}
 	if !registered {
 		// Defensive: the component vanished (already rejected elsewhere).
 		h.Stats.RejectedRun.Add(1)
+		h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.Reject,
+			Node: self, Peer: -1, Size: c.Cost, Info: "vanished"})
 		h.cluster.recordOutcome(at, false)
 		return
 	}
@@ -397,10 +437,15 @@ func (h *Host) tryMigrate(c Component, at float64, attempt int) {
 	}
 	if target < 0 {
 		h.Stats.RejectedRun.Add(1)
+		h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.Reject,
+			Node: self, Peer: -1, Size: c.Cost, Info: "no-candidate"})
 		h.deregisterIfLocal(c.ID)
 		h.cluster.recordOutcome(at, false)
 		return
 	}
+	h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.MigrateTry,
+		Node: self, Peer: topology.NodeID(target), Size: c.Cost})
+	h.cluster.controlMsgs.Add(1)
 	h.admSeq++
 	seq := h.admSeq
 	req := &transport.Admission{
@@ -421,12 +466,16 @@ func (h *Host) tryMigrate(c Component, at float64, attempt int) {
 			if _, live := h.pending[seq]; live {
 				delete(h.pending, seq)
 				h.Stats.Lost.Add(1)
+				h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.MigrateFail,
+					Node: self, Peer: topology.NodeID(target), Size: c.Cost, Info: "timeout"})
 				h.disco.OnMigrationOutcome(topology.NodeID(target), c.Cost, false)
 				if attempt < h.maxTries() && !h.killed {
 					h.tryMigrate(c, at, attempt+1)
 					return
 				}
 				h.Stats.RejectedRun.Add(1)
+				h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.Reject,
+					Node: self, Peer: -1, Size: c.Cost, Info: "tries-exhausted"})
 				h.deregisterIfLocal(c.ID)
 				h.cluster.recordOutcome(at, false)
 			}
@@ -439,6 +488,11 @@ func (h *Host) handlePacket(p transport.Packet) {
 	h.drain()
 	switch {
 	case p.Disc != nil:
+		// The observer fires before Deliver mutates protocol state, the
+		// same instant the engine's delivery event does.
+		if o := h.cluster.cfg.Observer; o != nil {
+			o.OnDeliver(sim.Time(h.now()), topology.NodeID(h.id), *p.Disc)
+		}
 		h.disco.Deliver(*p.Disc)
 	case p.Adm != nil && p.Adm.Request:
 		h.handleAdmissionRequest(p.From, *p.Adm)
@@ -480,13 +534,18 @@ func (h *Host) handleAdmissionResponse(adm transport.Admission) {
 	}
 	delete(h.pending, adm.Seq)
 	pm.timer.Stop()
+	self := topology.NodeID(h.id)
 	h.disco.OnMigrationOutcome(topology.NodeID(pm.target), pm.comp.Cost, adm.Granted)
 	if adm.Granted {
 		h.Stats.MigratedOut.Add(1)
+		h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.MigrateOK,
+			Node: self, Peer: topology.NodeID(pm.target), Size: pm.comp.Cost})
 		h.cluster.recordOutcome(pm.at, true)
 		return
 	}
 	h.Stats.MigrateFail.Add(1)
+	h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.MigrateFail,
+		Node: self, Peer: topology.NodeID(pm.target), Size: pm.comp.Cost})
 	// Section 3: try the next node in the list (the failed candidate was
 	// just evicted by OnMigrationOutcome), up to the configured bound.
 	if pm.attempt < h.maxTries() && !h.killed {
@@ -494,6 +553,8 @@ func (h *Host) handleAdmissionResponse(adm transport.Admission) {
 		return
 	}
 	h.Stats.RejectedRun.Add(1)
+	h.cluster.emit(trace.Event{At: sim.Time(h.now()), Kind: trace.Reject,
+		Node: self, Peer: -1, Size: pm.comp.Cost, Info: "tries-exhausted"})
 	h.deregisterIfLocal(pm.comp.ID)
 	h.cluster.recordOutcome(pm.at, false)
 }
@@ -517,6 +578,70 @@ func (h *Host) deregisterIfLocal(id uint64) {
 // Queue exposes the run queue for tests (actor-loop confined; call only
 // via Inspect).
 func (h *Host) Queue() *sched.RunQueue { return h.queue }
+
+// Usage returns Backlog/Capacity. Actor-loop confined: read it only
+// from this host's actor context (an observer callback this host
+// emitted, or Inspect).
+func (h *Host) Usage() float64 { return h.usage() }
+
+// Headroom returns Capacity − Backlog (actor-loop confined, see Usage).
+func (h *Host) Headroom() float64 { return h.queue.Capacity() - h.queue.Backlog() }
+
+// Capacity returns the host's queue capacity (immutable after start).
+func (h *Host) Capacity() float64 { return h.queue.Capacity() }
+
+// Discovery returns the host's protocol instance, which is replaced on
+// Revive. Actor-loop confined, see Usage.
+func (h *Host) Discovery() protocol.Discovery { return h.disco }
+
+// Inject forces up to size seconds of bogus work into the host's queue
+// through the same bookkeeping as a real admission — threshold-crossing
+// detection included — without touching the task statistics: the live
+// counterpart of engine.Inject, and the hook resource-exhaustion
+// attacks must use. The injected amount is capped at the queue's
+// current headroom. It blocks until the host's actor has applied the
+// injection and returns the amount actually injected (0 when the host
+// is down, stopped, or full).
+func (h *Host) Inject(size float64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	var accepted float64
+	done := make(chan struct{})
+	h.post(func() {
+		defer close(done)
+		if h.killed {
+			return
+		}
+		h.drain()
+		if hr := h.Headroom(); size > hr {
+			size = hr
+		}
+		if size <= 0 {
+			return
+		}
+		h.injectSeq++
+		// Bogus work lives outside the component ID space: high bit set,
+		// host ID in the upper half, so it can never collide with a
+		// driven component or another host's injections.
+		id := uint64(1)<<63 | uint64(h.id)<<32 | h.injectSeq
+		if !h.queue.Push(sched.Job{ID: id, Cost: size}) {
+			return
+		}
+		h.cus.Admit(id, size, h.queue.Capacity())
+		accepted = size
+		if o := h.cluster.cfg.Observer; o != nil {
+			o.OnInject(sim.Time(h.now()), topology.NodeID(h.id), size)
+		}
+		h.afterAccept()
+		h.armDrainTimer()
+	})
+	select {
+	case <-done:
+	case <-h.done:
+	}
+	return accepted
+}
 
 // Inspect runs fn on the host's actor loop and waits for it — the safe
 // way for tests and examples to observe actor-confined state.
@@ -550,13 +675,40 @@ func (e *liveEnv) Headroom() float64 {
 func (e *liveEnv) Capacity() float64 { return e.host.queue.Capacity() }
 
 func (e *liveEnv) Flood(m protocol.Message) {
+	h := e.host
+	c := h.cluster
+	now := sim.Time(h.now())
+	self := topology.NodeID(h.id)
+	c.countFlood(m.Kind)
+	c.emit(trace.Event{At: now, Kind: trace.MsgSend, Node: self, Peer: -1,
+		Info: "flood-" + m.Kind.String()})
+	// OnSend fires once per recipient — the fabric broadcasts by
+	// iterated unicast, and that is what the conservation ledger counts.
+	if o := c.cfg.Observer; o != nil {
+		for i := range c.hosts {
+			if i == h.id {
+				continue
+			}
+			o.OnSend(now, self, topology.NodeID(i), m)
+		}
+	}
 	mm := m
-	e.host.ep.Broadcast(transport.Packet{Disc: &mm})
+	h.ep.Broadcast(transport.Packet{Disc: &mm})
 }
 
 func (e *liveEnv) Unicast(to topology.NodeID, m protocol.Message) {
+	h := e.host
+	c := h.cluster
+	now := sim.Time(h.now())
+	self := topology.NodeID(h.id)
+	c.countUnicast(m.Kind)
+	c.emit(trace.Event{At: now, Kind: trace.MsgSend, Node: self, Peer: to,
+		Info: m.Kind.String()})
+	if o := c.cfg.Observer; o != nil {
+		o.OnSend(now, self, to, m)
+	}
 	mm := m
-	e.host.ep.Send(int(to), transport.Packet{Disc: &mm})
+	h.ep.Send(int(to), transport.Packet{Disc: &mm})
 }
 
 func (e *liveEnv) After(d sim.Time, fn func()) protocol.Timer {

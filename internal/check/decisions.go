@@ -81,6 +81,24 @@ func (l *DecisionLog) OnSend(now sim.Time, from, to topology.NodeID, m protocol.
 // would double the memory for no extra discrimination; skip.
 func (l *DecisionLog) OnDeliver(sim.Time, topology.NodeID, protocol.Message) {}
 
+// OnDrop implements engine.Observer. Drops are deterministic given the
+// seed (partition reachability, loss RNG draws, death schedule), so a
+// fast/reference divergence in drop behaviour is a real divergence.
+func (l *DecisionLog) OnDrop(now sim.Time, from, to topology.NodeID, m protocol.Message, reason string) {
+	l.ds = append(l.ds, Decision{
+		At: now, Node: from, Peer: to, Sent: true, Info: reason,
+		MsgKind: m.Kind, Headroom: m.Headroom, Members: m.Members,
+		Demand: m.Demand, Communities: m.Communities, Grant: m.Grant,
+	})
+}
+
+// OnInject implements engine.Observer.
+func (l *DecisionLog) OnInject(now sim.Time, node topology.NodeID, size float64) {
+	l.ds = append(l.ds, Decision{
+		At: now, Node: node, Peer: -1, Size: size, Info: "inject",
+	})
+}
+
 // Len returns the number of recorded decisions.
 func (l *DecisionLog) Len() int { return len(l.ds) }
 

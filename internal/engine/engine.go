@@ -138,9 +138,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Observer receives protocol messages at the two points the engine
-// handles them. Both callbacks run synchronously inside the event loop
-// and must not mutate engine state.
+// Observer is the engine's observation surface — the backend-agnostic
+// trace.MessageObserver. All four callbacks run synchronously inside the
+// event loop and must not mutate engine state:
 //
 //   - OnSend fires when a delivery is actually scheduled: after the
 //     live-overlay reachability check (a send to an unreachable node is
@@ -148,12 +148,13 @@ func (c Config) Validate() error {
 //     draw, so the observer sees every message that legitimately left
 //     the sender — including ones the lossy network will eat.
 //   - OnDeliver fires when the message reaches a live destination (the
-//     same instant Discovery.Deliver runs); messages to nodes that died
-//     or restarted in flight are never reported.
-type Observer interface {
-	OnSend(now sim.Time, from, to topology.NodeID, m protocol.Message)
-	OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message)
-}
+//     same instant Discovery.Deliver runs).
+//   - OnDrop fires for every message the engine discards: unreachable
+//     sends (trace.DropPartition, also counted as PartitionDrops), lossy
+//     deliveries (trace.DropLoss), and in-flight deaths (trace.DropDead)
+//     — so conservation checks need no side-channel.
+//   - OnInject fires when Engine.Inject adds bogus work to a queue.
+type Observer = trace.MessageObserver
 
 // Builder constructs a fresh Discovery instance (one per node, and again
 // on revival).
@@ -750,6 +751,9 @@ func (e *Engine) Inject(now sim.Time, id topology.NodeID, size float64) float64 
 	if size <= 0 || !n.Accept(now, size) {
 		return 0
 	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.OnInject(now, id, size)
+	}
 	e.afterAccept(now, id)
 	return size
 }
@@ -923,14 +927,22 @@ func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
 			e.stats.PartitionDrops++
 		}
 		e.trace(trace.Event{At: e.sched.Now(), Kind: trace.MsgDrop, Node: v.id, Peer: to,
-			Info: "partition"})
+			Info: trace.DropPartition})
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnDrop(e.sched.Now(), v.id, to, m, trace.DropPartition)
+		}
 		return
 	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnSend(e.sched.Now(), v.id, to, m)
 	}
 	if e.cfg.LossProb > 0 && e.rnd.Bernoulli(e.cfg.LossProb) {
-		return // datagram lost in transit
+		// Datagram lost in transit. The observer is told — conservation
+		// checks must see that a scheduled send was eaten, not delivered.
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnDrop(e.sched.Now(), v.id, to, m, trace.DropLoss)
+		}
+		return
 	}
 	d := e.freeDeliveries
 	if d == nil {
@@ -938,7 +950,7 @@ func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
 	} else {
 		e.freeDeliveries = d.next
 	}
-	d.to, d.gen, d.m = to, e.gen[to], m
+	d.from, d.to, d.gen, d.m = v.id, to, e.gen[to], m
 	e.sched.AfterRunner(e.cfg.HopDelay*sim.Time(dist), d)
 }
 
@@ -947,6 +959,7 @@ func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
 // traffic schedules with zero allocations.
 type delivery struct {
 	e    *Engine
+	from topology.NodeID // sender, reported on in-flight-death drops
 	to   topology.NodeID
 	gen  int
 	m    protocol.Message
@@ -956,7 +969,7 @@ type delivery struct {
 // Fire implements sim.Runner: deliver (unless the destination restarted
 // or died in flight) and return self to the engine's pool.
 func (d *delivery) Fire(at sim.Time) {
-	e, to, gen, m := d.e, d.to, d.gen, d.m
+	e, from, to, gen, m := d.e, d.from, d.to, d.gen, d.m
 	d.m = protocol.Message{} // drop any View slice reference
 	d.next = e.freeDeliveries
 	e.freeDeliveries = d
@@ -965,6 +978,10 @@ func (d *delivery) Fire(at sim.Time) {
 			e.cfg.Observer.OnDeliver(at, to, m)
 		}
 		e.disco[to].Deliver(m)
+	} else if e.cfg.Observer != nil {
+		// Destination died or restarted in flight: the send the observer
+		// saw resolves as a drop, never silently vanishes.
+		e.cfg.Observer.OnDrop(at, from, to, m, trace.DropDead)
 	}
 }
 

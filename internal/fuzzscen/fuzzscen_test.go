@@ -35,63 +35,12 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestHonestRunsAreOracleClean(t *testing.T) {
-	offered := uint64(0)
-	for seed := int64(1); seed <= smokeSeeds; seed++ {
-		out := Run(Generate(seed), Builder(Generate(seed)))
-		if out.Failed() {
-			t.Errorf("seed %d: %d violations, first: %s\n%s",
-				seed, len(out.Violations), out.Violations[0], Generate(seed).JSON())
-		}
-		offered += out.Stats.Offered
-	}
-	if offered == 0 {
-		t.Fatal("no scenario offered any tasks; the generator is broken")
-	}
-}
-
 func TestDifferentialFastVsReference(t *testing.T) {
 	for seed := int64(1); seed <= smokeSeeds; seed++ {
 		if why, ok := Differential(Generate(seed)); !ok {
 			t.Errorf("seed %d: fast and reference diverge: %s\n%s",
 				seed, why, Generate(seed).JSON())
 		}
-	}
-}
-
-// TestMutantIsCaughtAndShrinks is the mutation-testing loop in
-// miniature: sweep seeds until the soft-state-expiry mutant trips the
-// oracle, then shrink that scenario and require the minimised
-// counterexample to (a) still fail and (b) be no more complex.
-func TestMutantIsCaughtAndShrinks(t *testing.T) {
-	fails := func(s Scenario) bool { return Run(s, MutantBuilder(s)).Failed() }
-	var caught *Scenario
-	for seed := int64(1); seed <= 60; seed++ {
-		s := Generate(seed)
-		if fails(s) {
-			caught = &s
-			break
-		}
-	}
-	if caught == nil {
-		t.Fatal("60 seeds never triggered the stale-candidate mutant; generator no longer exercises expiry")
-	}
-	shrunk := Shrink(*caught, fails)
-	if !fails(shrunk) {
-		t.Fatalf("shrunk scenario no longer fails:\n%s", shrunk.JSON())
-	}
-	if len(shrunk.Events) > len(caught.Events) || shrunk.Duration > caught.Duration {
-		t.Fatalf("shrinking made the scenario bigger:\n was %s\n got %s", caught.JSON(), shrunk.JSON())
-	}
-	out := Run(shrunk, MutantBuilder(shrunk))
-	sawI3 := false
-	for _, v := range out.Violations {
-		if v.Invariant == "I3-soft-state-expiry" {
-			sawI3 = true
-		}
-	}
-	if !sawI3 {
-		t.Fatalf("mutant tripped the oracle but never via I3; violations: %v", out.Violations)
 	}
 }
 

@@ -1,6 +1,9 @@
-// Running scenarios: under the invariant oracle (Run) and through the
-// fast/reference differential pair (Differential). Both are pure
-// functions of the Scenario, so any reported failure replays exactly.
+// Protocol builders and the fast/reference differential pair
+// (Differential) — pure functions of the Scenario, so any reported
+// failure replays exactly. Oracle-checked execution lives in
+// internal/harness (RunChecked), which runs a scenario on either the
+// simulator or the live Agile cluster; this package stays backend-free
+// so the harness can depend on it without an import cycle.
 package fuzzscen
 
 import (
@@ -12,16 +15,6 @@ import (
 	"realtor/internal/metrics"
 	"realtor/internal/protocol"
 )
-
-// Outcome is what one oracle-checked run yields.
-type Outcome struct {
-	Stats      metrics.RunStats
-	Violations []check.Violation
-	Dropped    int // violations beyond check.MaxViolations
-}
-
-// Failed reports whether the oracle flagged anything.
-func (o Outcome) Failed() bool { return len(o.Violations) > 0 }
 
 // Builder returns the honest fast-path protocol builder for a scenario.
 func Builder(s Scenario) engine.Builder {
@@ -41,26 +34,6 @@ func ReferenceBuilder(s Scenario) engine.Builder {
 func MutantBuilder(s Scenario) engine.Builder {
 	cfg := s.ProtocolConfig()
 	return func() protocol.Discovery { return check.NewStaleRealtor(cfg) }
-}
-
-// Run executes one scenario with the invariant oracle attached and
-// returns its verdict. The builder selects the protocol under test
-// (Builder for the honest path, MutantBuilder for mutation testing).
-func Run(s Scenario, build engine.Builder) Outcome {
-	g := s.Graph()
-	h := &check.Hooks{}
-	cfg := s.EngineConfig(g)
-	cfg.Trace = h
-	cfg.Observer = h
-	e := engine.New(cfg, build)
-	o := check.NewOracle(e)
-	h.Bind(o)
-	for _, a := range s.Attacks() {
-		a.Apply(e)
-	}
-	stats := e.Run(s.Workload(g))
-	o.Finish(e.Scheduler().Now())
-	return Outcome{Stats: stats, Violations: o.Violations(), Dropped: o.Dropped()}
 }
 
 // Differential replays the scenario through core.Realtor and through

@@ -1,10 +1,12 @@
-package agile
+package harness
 
 import (
 	"fmt"
 	"strings"
-	"time"
 
+	"realtor/internal/agile"
+	"realtor/internal/agile/transport"
+	"realtor/internal/fuzzscen"
 	"realtor/internal/metrics"
 	"realtor/internal/transportfactory"
 )
@@ -12,59 +14,59 @@ import (
 // AttackStudy is the live-runtime counterpart of the simulator's A1
 // survivability experiment: hosts are killed mid-run on the real
 // goroutine cluster and the admission timeline shows the dip and the
-// recovery.
+// recovery. It compiles to the same kill-event vocabulary the fuzzer's
+// scenarios use, executed by the harness's live fault scheduler —
+// there is exactly one fault-schedule implementation for the live
+// runtime.
 type AttackStudy struct {
 	Victims  []int   // host IDs to take down
 	KillAt   float64 // scaled seconds into the drive
 	ReviveAt float64 // scaled seconds; ≤ KillAt means never
 }
 
+// Events compiles the study into the shared fault vocabulary.
+func (s AttackStudy) Events() []fuzzscen.Event {
+	evs := make([]fuzzscen.Event, 0, len(s.Victims))
+	for _, v := range s.Victims {
+		evs = append(evs, fuzzscen.Event{Op: "kill", At: s.KillAt, Until: s.ReviveAt, Node: v})
+	}
+	return evs
+}
+
 // AttackResult is one live attack run.
 type AttackResult struct {
 	Stats    metrics.RunStats
-	Timeline []TimelineBin
+	Timeline []agile.TimelineBin
 	Study    AttackStudy
 }
 
 // RunLiveAttack drives a Poisson load while the study's kill/revive
 // schedule executes on wall-clock timers, and returns the overall stats
 // plus a binned admission timeline.
-func RunLiveAttack(cfg Config, study AttackStudy, lambda, meanSize, duration, binWidth float64,
+func RunLiveAttack(cfg agile.Config, study AttackStudy, lambda, meanSize, duration, binWidth float64,
 	seed int64, mkNet transportfactory.Factory) (AttackResult, error) {
 	for _, v := range study.Victims {
 		if v < 0 || v >= cfg.Hosts {
-			return AttackResult{}, fmt.Errorf("agile: victim %d outside [0,%d)", v, cfg.Hosts)
+			return AttackResult{}, fmt.Errorf("harness: victim %d outside [0,%d)", v, cfg.Hosts)
 		}
 	}
-	nw, err := mkNet(cfg.Hosts)
+	inner, err := mkNet(cfg.Hosts)
 	if err != nil {
 		return AttackResult{}, err
 	}
-	c, err := NewCluster(cfg, nw)
+	fn := transport.NewFault(inner, seed)
+	c, err := agile.NewCluster(cfg, fn)
 	if err != nil {
-		nw.Close()
+		fn.Close()
 		return AttackResult{}, err
 	}
 	defer c.Stop()
 	c.EnableTimeline(binWidth)
 
-	killTimer := time.AfterFunc(c.toWall(study.KillAt), func() {
-		for _, v := range study.Victims {
-			c.Host(v).Kill()
-		}
-	})
-	defer killTimer.Stop()
-	var reviveTimer *time.Timer
-	if study.ReviveAt > study.KillAt {
-		reviveTimer = time.AfterFunc(c.toWall(study.ReviveAt), func() {
-			for _, v := range study.Victims {
-				c.Host(v).Revive()
-			}
-		})
-		defer reviveTimer.Stop()
-	}
-
+	faults := newLiveFaults(c, fn, transport.FaultRule{}, &Hooks{}, study.Events())
+	faults.start()
 	st := c.Drive(lambda, meanSize, duration, seed)
+	faults.stop()
 	return AttackResult{Stats: st, Timeline: c.Timeline(), Study: study}, nil
 }
 

@@ -1,0 +1,199 @@
+// Package harness unifies the repo's two REALTOR runtimes — the
+// discrete-event simulator (internal/engine) and the live Agile Objects
+// cluster (internal/agile) — behind one backend-agnostic run pipeline,
+// mirroring how the paper validates the protocol twice: by simulation
+// (Section 5) and by live measurement (Section 6).
+//
+// A Backend builds a runnable Instance from a fuzzscen.Scenario, wiring
+// the shared Hooks surface (trace events + full-payload message
+// observation) into whatever its runtime natively emits. Everything
+// downstream — the invariant oracle of internal/check, trace sinks, the
+// sim↔live parity comparison — consumes only the Backend/Instance
+// surface and therefore runs unchanged against either runtime.
+package harness
+
+import (
+	"sync"
+
+	"realtor/internal/check"
+	"realtor/internal/engine"
+	"realtor/internal/fuzzscen"
+	"realtor/internal/metrics"
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/trace"
+)
+
+// Backend is a runtime able to execute a fuzz scenario. Implementations:
+// Sim() (the deterministic discrete-event engine) and Live() (the
+// goroutine-per-host Agile cluster on a real transport).
+type Backend interface {
+	// Name identifies the backend ("sim", "live") in reports and CLIs.
+	Name() string
+
+	// Slack returns the clock tolerance (scaled seconds) the invariant
+	// oracle must allow on this backend's timing-sensitive checks: 0 for
+	// the deterministic simulator, positive for wall-clock runtimes.
+	Slack() sim.Time
+
+	// Start builds a ready-to-run Instance for the scenario, wiring
+	// hooks as the runtime's trace recorder and message observer. The
+	// protocol under test comes from build (fuzzscen.Builder for the
+	// honest path, fuzzscen.MutantBuilder for mutation testing).
+	Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error)
+}
+
+// Instance is one prepared run.
+type Instance interface {
+	// World exposes the backend's node/protocol state to the oracle.
+	World() check.World
+
+	// Run drives the scenario's workload and fault schedule to
+	// completion (including any settling the runtime needs) and returns
+	// the aggregated run statistics.
+	Run() metrics.RunStats
+
+	// Now returns the backend clock after Run (scaled seconds).
+	Now() sim.Time
+
+	// EachNodeSafe invokes fn once per node from a context where that
+	// node's protocol state may be read — inline on the simulator, on
+	// each host's actor loop on the live cluster.
+	EachNodeSafe(fn func(id topology.NodeID))
+
+	// Close releases the instance's resources (transports, host actors).
+	// It is idempotent.
+	Close()
+}
+
+// Hooks is the unified observation funnel handed to a Backend at Start:
+// the backend wires it in as both its trace.Recorder and its
+// trace.MessageObserver. Every callback serializes behind one mutex, so
+// the single-threaded oracle (and any extra consumer) can sit behind
+// the live cluster's concurrently emitting host actors; on the
+// simulator the mutex is uncontended and free of side effects, keeping
+// runs bit-identical to an unhooked engine.
+type Hooks struct {
+	mu    sync.Mutex
+	inner check.Hooks
+}
+
+var _ trace.Recorder = (*Hooks)(nil)
+var _ trace.MessageObserver = (*Hooks)(nil)
+
+// Bind points the funnel at a constructed oracle (see check.Hooks.Bind).
+func (h *Hooks) Bind(o *check.Oracle) {
+	h.mu.Lock()
+	h.inner.Bind(o)
+	h.mu.Unlock()
+}
+
+// Tee attaches an extra trace recorder and/or observer that receives
+// every event alongside the oracle. Call before the run starts. The
+// consumers are invoked under the funnel's mutex and therefore need no
+// locking of their own.
+func (h *Hooks) Tee(rec trace.Recorder, obs trace.MessageObserver) {
+	h.mu.Lock()
+	h.inner.Trace = rec
+	h.inner.Observer = obs
+	h.mu.Unlock()
+}
+
+// locked runs fn under the funnel's mutex — the way end-of-run audits
+// exclude in-flight emissions on a live backend.
+func (h *Hooks) locked(fn func()) {
+	h.mu.Lock()
+	fn()
+	h.mu.Unlock()
+}
+
+// Record implements trace.Recorder.
+func (h *Hooks) Record(ev trace.Event) {
+	h.mu.Lock()
+	h.inner.Record(ev)
+	h.mu.Unlock()
+}
+
+// OnSend implements trace.MessageObserver.
+func (h *Hooks) OnSend(now sim.Time, from, to topology.NodeID, m protocol.Message) {
+	h.mu.Lock()
+	h.inner.OnSend(now, from, to, m)
+	h.mu.Unlock()
+}
+
+// OnDeliver implements trace.MessageObserver.
+func (h *Hooks) OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message) {
+	h.mu.Lock()
+	h.inner.OnDeliver(now, to, m)
+	h.mu.Unlock()
+}
+
+// OnDrop implements trace.MessageObserver.
+func (h *Hooks) OnDrop(now sim.Time, from, to topology.NodeID, m protocol.Message, reason string) {
+	h.mu.Lock()
+	h.inner.OnDrop(now, from, to, m, reason)
+	h.mu.Unlock()
+}
+
+// OnInject implements trace.MessageObserver.
+func (h *Hooks) OnInject(now sim.Time, node topology.NodeID, size float64) {
+	h.mu.Lock()
+	h.inner.OnInject(now, node, size)
+	h.mu.Unlock()
+}
+
+// Outcome is what one oracle-checked run yields on any backend.
+type Outcome struct {
+	Backend    string
+	Stats      metrics.RunStats
+	Violations []check.Violation
+	Dropped    int // violations beyond check.MaxViolations
+}
+
+// Failed reports whether the oracle flagged anything.
+func (o Outcome) Failed() bool { return len(o.Violations) > 0 }
+
+// RunOptions tunes RunChecked.
+type RunOptions struct {
+	// Trace/Observer optionally tee the unified event stream to extra
+	// consumers (a DecisionLog, a JSONL file, …).
+	Trace    trace.Recorder
+	Observer trace.MessageObserver
+}
+
+// RunChecked executes one scenario on the given backend with the
+// invariant oracle attached and returns its verdict: the
+// backend-agnostic successor of the old sim-only fuzzscen.Run.
+func RunChecked(b Backend, s fuzzscen.Scenario, build engine.Builder) (Outcome, error) {
+	return RunCheckedOpts(b, s, build, RunOptions{})
+}
+
+// RunCheckedOpts is RunChecked with extra event consumers.
+func RunCheckedOpts(b Backend, s fuzzscen.Scenario, build engine.Builder, opt RunOptions) (Outcome, error) {
+	hooks := &Hooks{}
+	hooks.Tee(opt.Trace, opt.Observer)
+	inst, err := b.Start(s, build, hooks)
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer inst.Close()
+	o := check.NewWorldOracle(inst.World(), b.Slack())
+	hooks.Bind(o)
+	stats := inst.Run()
+	now := inst.Now()
+	// Per-node audits run in each node's safe context, taking the event
+	// mutex INSIDE that context (taking it outside would deadlock: the
+	// node's actor might be blocked on the mutex emitting an event while
+	// we wait for the actor).
+	inst.EachNodeSafe(func(id topology.NodeID) {
+		hooks.locked(func() { o.FinishNode(now, id) })
+	})
+	hooks.locked(func() { o.FinishTotals(now) })
+	return Outcome{
+		Backend:    b.Name(),
+		Stats:      stats,
+		Violations: o.Violations(),
+		Dropped:    o.Dropped(),
+	}, nil
+}

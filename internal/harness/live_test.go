@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"testing"
+
+	"realtor/internal/fuzzscen"
+)
+
+// testLiveCfg runs live scenarios fast (400× wall clock) with a slack
+// wide enough for race-detector scheduling noise: 40 scaled seconds is
+// 100 wall-milliseconds of tolerated drift per clock read. The mutant
+// catch below does not depend on slack (stale-candidate use trips the
+// oracle's freshness cross-check, not a timestamp comparison), so the
+// generous band costs no detection power where it matters.
+func testLiveCfg() LiveConfig {
+	return LiveConfig{TimeScale: 400, Slack: 40}
+}
+
+// TestLiveHonestRunsAreOracleClean is the live-backend mirror of the
+// sim sweep: the same generated scenarios — kills, cuts, flaps, loss,
+// exhaustion, churn included — replayed on the goroutine-per-host
+// cluster must leave the invariant oracle silent.
+func TestLiveHonestRunsAreOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sweep")
+	}
+	be := Live(testLiveCfg())
+	offered := uint64(0)
+	for seed := int64(1); seed <= smokeSeeds; seed++ {
+		s := fuzzscen.Generate(seed)
+		out, err := RunChecked(be, s, fuzzscen.Builder(s))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Failed() {
+			t.Errorf("seed %d: %d violations (+%d dropped), first: %s\n%s",
+				seed, len(out.Violations), out.Dropped, out.Violations[0], s.JSON())
+		}
+		offered += out.Stats.Offered
+	}
+	if offered == 0 {
+		t.Fatal("live runs offered no tasks; the drive loop is broken")
+	}
+}
+
+// TestLiveMutantIsCaught proves the oracle keeps its teeth on the live
+// backend: the seeded soft-state-expiry bug must trip it on at least
+// one of the sweep's scenarios, exactly as it must on the simulator.
+func TestLiveMutantIsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sweep")
+	}
+	be := Live(testLiveCfg())
+	for seed := int64(1); seed <= 60; seed++ {
+		s := fuzzscen.Generate(seed)
+		out, err := RunChecked(be, s, fuzzscen.MutantBuilder(s))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Failed() {
+			return // caught: the oracle works against live state too
+		}
+	}
+	t.Fatal("60 seeds never caught the stale-candidate mutant on the live backend")
+}
+
+// TestParitySimVsLive replays one scenario on both backends and demands
+// the aggregate metrics agree within the documented bands — the repo's
+// smallest version of the paper's sim-vs-testbed validation. The
+// scenario is picked to be fault- and loss-free: parity bands describe
+// clock and transport skew, not divergent fault timing.
+func TestParitySimVsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run")
+	}
+	s, ok := quietScenario(200)
+	if !ok {
+		t.Fatal("no generated seed ≤ 200 is event- and loss-free")
+	}
+	rep, err := Parity(s, Live(testLiveCfg()), fuzzscen.Builder(s), DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("parity failed for seed %d:\n%s\n%s", s.Seed, rep.Table(), s.JSON())
+	}
+	if rep.Sim.Stats.Offered == 0 {
+		t.Fatal("parity scenario offered no tasks")
+	}
+}
+
+// quietScenario returns the first generated scenario with no fault
+// events and no message loss.
+func quietScenario(maxSeed int64) (fuzzscen.Scenario, bool) {
+	for seed := int64(1); seed <= maxSeed; seed++ {
+		s := fuzzscen.Generate(seed)
+		if len(s.Events) == 0 && s.LossProb == 0 {
+			return s, true
+		}
+	}
+	return fuzzscen.Scenario{}, false
+}

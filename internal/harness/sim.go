@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"realtor/internal/check"
+	"realtor/internal/engine"
+	"realtor/internal/fuzzscen"
+	"realtor/internal/metrics"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// simBackend adapts the discrete-event engine: Start is pure wiring —
+// scenario→engine.Config, fault schedule via attack.Scenario.Apply —
+// and the oracle runs with zero clock slack because the simulator is
+// deterministic.
+type simBackend struct{}
+
+// Sim returns the discrete-event simulator backend.
+func Sim() Backend { return simBackend{} }
+
+// Name implements Backend.
+func (simBackend) Name() string { return "sim" }
+
+// Slack implements Backend: the simulator's clock is exact.
+func (simBackend) Slack() sim.Time { return 0 }
+
+// Start implements Backend.
+func (simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := s.Graph()
+	cfg := s.EngineConfig(g)
+	cfg.Trace = hooks
+	cfg.Observer = hooks
+	e := engine.New(cfg, build)
+	for _, a := range s.Attacks() {
+		a.Apply(e)
+	}
+	return &simInstance{e: e, s: s, g: g}, nil
+}
+
+type simInstance struct {
+	e *engine.Engine
+	s fuzzscen.Scenario
+	g *topology.Graph
+}
+
+// World implements Instance.
+func (i *simInstance) World() check.World { return check.EngineWorld{E: i.e} }
+
+// Run implements Instance.
+func (i *simInstance) Run() metrics.RunStats {
+	return i.e.Run(i.s.Workload(i.g))
+}
+
+// Now implements Instance.
+func (i *simInstance) Now() sim.Time { return i.e.Scheduler().Now() }
+
+// EachNodeSafe implements Instance: the sequential simulator is idle
+// after Run, so every node is safely readable inline.
+func (i *simInstance) EachNodeSafe(fn func(id topology.NodeID)) {
+	for id := 0; id < i.g.N(); id++ {
+		fn(topology.NodeID(id))
+	}
+}
+
+// Close implements Instance (nothing to release).
+func (i *simInstance) Close() {}

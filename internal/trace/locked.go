@@ -1,0 +1,26 @@
+package trace
+
+import "sync"
+
+// lockedRecorder serializes Record calls behind one mutex, adapting
+// recorders that are not safe for concurrent use (JSONL, Buffer) to
+// concurrent emitters like the live Agile cluster, whose hosts record
+// from many actor goroutines at once.
+type lockedRecorder struct {
+	mu sync.Mutex
+	r  Recorder
+}
+
+// NewLocked wraps r so concurrent Record calls serialize. The wrapper
+// adds one uncontended mutex operation per event; use it whenever a
+// single-threaded recorder is attached to a concurrent backend.
+func NewLocked(r Recorder) Recorder {
+	return &lockedRecorder{r: r}
+}
+
+// Record implements Recorder.
+func (l *lockedRecorder) Record(ev Event) {
+	l.mu.Lock()
+	l.r.Record(ev)
+	l.mu.Unlock()
+}

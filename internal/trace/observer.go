@@ -1,0 +1,57 @@
+// MessageObserver is the canonical full-payload observation surface
+// shared by every backend (the discrete-event engine and the live Agile
+// cluster): where trace.Event carries metadata only, an observer sees
+// complete protocol messages at the four points a backend handles them.
+// It lives here — not in internal/engine — so that the engine, the live
+// runtime, and the harness that unifies them can all speak one observer
+// vocabulary without import cycles.
+package trace
+
+import (
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// Drop reasons reported through MessageObserver.OnDrop.
+const (
+	// DropPartition: the live overlay has no path sender→recipient; the
+	// message never left (no OnSend precedes it).
+	DropPartition = "partition"
+	// DropLoss: the probabilistic lossy network ate a scheduled delivery
+	// (an OnSend preceded it).
+	DropLoss = "loss"
+	// DropDead: the destination died or restarted while the message was
+	// in flight (an OnSend preceded it).
+	DropDead = "dead"
+)
+
+// MessageObserver receives protocol messages at the points a backend
+// handles them. Callbacks run synchronously inside the backend's
+// delivery path and must not mutate backend state. On the sequential
+// simulator they are single-threaded; on the live runtime they fire
+// concurrently from many host actors, so implementations attached to a
+// live backend must serialize internally.
+//
+//   - OnSend fires when a delivery is actually scheduled: after any
+//     reachability check (an unreachable send is a partition drop, not a
+//     send) and before any probabilistic loss draw, so the observer sees
+//     every message that legitimately left the sender — including ones a
+//     lossy network will eat.
+//   - OnDeliver fires when the message reaches a live destination (the
+//     same instant Discovery.Deliver runs).
+//   - OnDrop fires when a backend discards a message it can account for:
+//     reason is one of DropPartition, DropLoss, DropDead. Backends whose
+//     transport loses messages invisibly (real UDP) under-report drops;
+//     conservation checks must therefore treat delivered+dropped ≤ sent
+//     as the invariant, never equality.
+//   - OnInject fires when bogus work enters a node's queue outside the
+//     task pipeline (resource-exhaustion attacks), with the amount
+//     actually injected — so task-conservation checks need no
+//     side-channel to distinguish injected load from real arrivals.
+type MessageObserver interface {
+	OnSend(now sim.Time, from, to topology.NodeID, m protocol.Message)
+	OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message)
+	OnDrop(now sim.Time, from, to topology.NodeID, m protocol.Message, reason string)
+	OnInject(now sim.Time, node topology.NodeID, size float64)
+}
