@@ -204,6 +204,34 @@ func BenchmarkLinkChurnLarge(b *testing.B) {
 	b.ReportMetric(rows, "row-builds")
 }
 
+// BenchmarkShardedEngine runs the 50×50 scale-large cell on the
+// conservative-parallel event kernel at 1/2/4/8 shards. The results are
+// byte-identical across sub-benchmarks (the kernel's contract, enforced
+// by internal/engine and internal/experiment tests); the ns/op spread
+// is the kernel's parallel speedup, which tracks the core count —
+// expect ≈1× on a single-core runner and scaling on real hardware.
+func BenchmarkShardedEngine(b *testing.B) {
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := experiment.ScaleLargeStudy{
+				Sides:         []int{50},
+				PerNodeLambda: 0.18,
+				Radius:        2,
+				Warmup:        20,
+				Duration:      200,
+				Shards:        shards,
+			}
+			b.ReportAllocs()
+			var pt experiment.ScalePoint
+			for i := 0; i < b.N; i++ {
+				pt = experiment.RunScaleLarge(st, p, int64(i+1))[0]
+			}
+			b.ReportMetric(pt.Admission, "admission")
+		})
+	}
+}
+
 // BenchmarkAblationAlphaBeta runs the A3 extension: one α/β cell of the
 // Algorithm H sensitivity study per iteration.
 func BenchmarkAblationAlphaBeta(b *testing.B) {

@@ -10,17 +10,23 @@
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
+//	benchdiff -threshold 25 OLD.json NEW.json
 //	make bench-compare            # current tree vs committed baseline
 //
-// Exit status is 0 even when benchmarks regress: the tool reports,
-// humans judge. Benchmarks present in only one file are listed but not
-// compared.
+// Without -threshold the exit status is 0 even when benchmarks regress:
+// the tool reports, humans judge. With -threshold X, any benchmark
+// whose ns/op grew by more than X percent fails the run (exit 1) — the
+// gate CI's bench job runs against the committed baseline. Benchmarks
+// present in only one file are listed but not compared, and only ns/op
+// gates: allocation counts shift legitimately with pooling changes.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -120,19 +126,31 @@ func cpuSuffix(name string) int {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	threshold := fs.Float64("threshold", 0,
+		"fail (exit 1) if any benchmark's ns/op regresses by more than this percentage; 0 reports only")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	oldM, err := parseFile(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(errw, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
+		return 2
 	}
-	newM, err := parseFile(os.Args[2])
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldM, err := parseFile(oldPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 1
+	}
+	newM, err := parseFile(newPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchdiff:", err)
+		return 1
 	}
 
 	names := map[string]bool{}
@@ -148,9 +166,10 @@ func main() {
 	}
 	sort.Strings(sorted)
 
-	fmt.Printf("# %s -> %s\n", os.Args[1], os.Args[2])
+	fmt.Fprintf(out, "# %s -> %s\n", oldPath, newPath)
+	var regressions []string
 	for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
-		fmt.Printf("\n%-44s %14s %14s %8s\n", unit, "old", "new", "delta")
+		fmt.Fprintf(out, "\n%-44s %14s %14s %8s\n", unit, "old", "new", "delta")
 		for _, n := range sorted {
 			o, oky := oldM[n]
 			w, nky := newM[n]
@@ -161,14 +180,29 @@ func main() {
 				if !ook || !nok {
 					continue
 				}
-				fmt.Printf("%-44s %14s %14s %8s\n", n, fmtVal(ov), fmtVal(nv), fmtDelta(ov, nv))
+				fmt.Fprintf(out, "%-44s %14s %14s %8s\n", n, fmtVal(ov), fmtVal(nv), fmtDelta(ov, nv))
+				if unit == "ns/op" && *threshold > 0 && ov > 0 &&
+					100*(nv-ov)/ov > *threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: ns/op %s -> %s (%s > +%.4g%%)",
+							n, fmtVal(ov), fmtVal(nv), fmtDelta(ov, nv), *threshold))
+				}
 			case unit == "ns/op" && !oky:
-				fmt.Printf("%-44s %14s %14s %8s\n", n, "-", "(new)", "")
+				fmt.Fprintf(out, "%-44s %14s %14s %8s\n", n, "-", "(new)", "")
 			case unit == "ns/op" && !nky:
-				fmt.Printf("%-44s %14s %14s %8s\n", n, "(gone)", "-", "")
+				fmt.Fprintf(out, "%-44s %14s %14s %8s\n", n, "(gone)", "-", "")
 			}
 		}
 	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(errw, "\nbenchdiff: %d benchmark(s) regressed past the %.4g%% threshold:\n",
+			len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Fprintln(errw, "  "+r)
+		}
+		return 1
+	}
+	return 0
 }
 
 func fmtVal(v float64) string {

@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -106,5 +108,66 @@ func TestCPUSuffix(t *testing.T) {
 		if got := cpuSuffix(name); got != want {
 			t.Errorf("cpuSuffix(%q) = %d, want %d", name, got, want)
 		}
+	}
+}
+
+// benchLine builds one test2json event wrapping a benchmark result line.
+func benchLine(name string, nsop float64) string {
+	return `{"Action":"output","Output":"` + name + `-8   \t     100\t  ` +
+		strconv.FormatFloat(nsop, 'f', 1, 64) + ` ns/op\n"}` + "\n"
+}
+
+// TestRunThresholdGate pins the CI gate's exit-code contract: a report
+// within the threshold exits 0, a past-threshold ns/op regression exits
+// 1 and names the offender on stderr, and threshold 0 never gates.
+func TestRunThresholdGate(t *testing.T) {
+	oldP := writeTemp(t, benchLine("BenchmarkA", 100)+benchLine("BenchmarkB", 100))
+	newP := filepath.Join(t.TempDir(), "new.json")
+	if err := os.WriteFile(newP,
+		[]byte(benchLine("BenchmarkA", 120)+benchLine("BenchmarkB", 300)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errw); code != 0 {
+		t.Fatalf("no threshold: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkB") {
+		t.Fatalf("report missing BenchmarkB:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-threshold", "50", oldP, newP}, &out, &errw); code != 1 {
+		t.Fatalf("+200%% past a 50%% threshold: exit %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "BenchmarkB") ||
+		strings.Contains(errw.String(), "BenchmarkA") {
+		t.Fatalf("gate must name exactly the regressed benchmark:\n%s", errw.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-threshold", "250", oldP, newP}, &out, &errw); code != 0 {
+		t.Fatalf("within a 250%% threshold: exit %d, want 0\n%s", code, errw.String())
+	}
+}
+
+// TestRunUsageAndErrors covers the argument and file failure paths.
+func TestRunUsageAndErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"one.json"}, &out, &errw); code != 2 {
+		t.Fatalf("one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nonsense"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	ok := writeTemp(t, "")
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if code := run([]string{missing, ok}, &out, &errw); code != 1 {
+		t.Fatalf("missing old file: exit %d, want 1", code)
+	}
+	if code := run([]string{ok, missing}, &out, &errw); code != 1 {
+		t.Fatalf("missing new file: exit %d, want 1", code)
 	}
 }

@@ -10,6 +10,8 @@
 //	realtor-fuzz -n 50 -meta                # additionally check metamorphic relations
 //	realtor-fuzz -n 50 -mutant              # prove the harness: the seeded
 //	                                        # soft-state-expiry bug must be caught
+//	realtor-fuzz -backend sim -shards 4     # same sweep on the sharded
+//	                                        # conservative-parallel kernel
 //	realtor-fuzz -backend live -n 25        # replay scenarios on the live
 //	                                        # goroutine cluster under the oracle
 //	realtor-fuzz -parity -n 5 -scale 200    # run each scenario on BOTH backends
@@ -53,6 +55,7 @@ type options struct {
 	backend harness.Backend // oracle-checked runs execute here
 	live    harness.Backend // parity's live leg (nil unless -parity)
 	tol     harness.Tolerance
+	shards  int // sim kernel shard count (1 = classic sequential kernel)
 }
 
 // failure is one seed's verdict. Kind is which layer failed
@@ -80,6 +83,7 @@ func run(args []string, out, errw io.Writer) int {
 		verbose    = fs.Bool("v", false, "log every scenario")
 
 		backendName = fs.String("backend", "sim", "execution backend: sim (discrete-event) or live (goroutine cluster)")
+		shards      = fs.Int("shards", 1, "sim backend: shard count for the conservative-parallel kernel (1 = sequential)")
 		parity      = fs.Bool("parity", false, "run each scenario on sim AND live and compare aggregate metrics")
 		scale       = fs.Float64("scale", 0, "live backend: scaled seconds per wall second (0 = default 50)")
 		slack       = fs.Float64("slack", 0, "live backend: oracle clock slack in scaled seconds (0 = default 0.02*scale)")
@@ -93,11 +97,24 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
+	if *shards < 1 {
+		fmt.Fprintln(errw, "realtor-fuzz: -shards must be at least 1")
+		return 2
+	}
+	if *shards > 1 && *backendName != "sim" {
+		fmt.Fprintln(errw, "realtor-fuzz: -shards applies to the sim backend only")
+		return 2
+	}
+
 	lcfg := harness.LiveConfig{TimeScale: *scale, Transport: *transport, Slack: sim.Time(*slack)}
-	opts := options{invariants: *invariants, diff: *diff, meta: *meta, tol: harness.DefaultTolerance()}
+	opts := options{invariants: *invariants, diff: *diff, meta: *meta, tol: harness.DefaultTolerance(), shards: *shards}
 	switch *backendName {
 	case "sim":
-		opts.backend = harness.Sim()
+		if *shards > 1 {
+			opts.backend = harness.SimSharded(*shards)
+		} else {
+			opts.backend = harness.Sim()
+		}
 	case "live":
 		opts.backend = harness.Live(lcfg)
 	default:
@@ -231,7 +248,7 @@ func checkScenario(s fuzzscen.Scenario, opts options) *failure {
 		}
 	}
 	if opts.diff {
-		if why, ok := fuzzscen.Differential(s); !ok {
+		if why, ok := fuzzscen.DifferentialShards(s, max(opts.shards, 1)); !ok {
 			return &failure{kind: "differential", desc: why}
 		}
 	}

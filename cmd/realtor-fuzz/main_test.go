@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"realtor/internal/fuzzscen"
+)
+
+// TestRunShardedSweepClean drives the CLI entry point end to end on the
+// conservative-parallel kernel: a short oracle+differential sweep at 2
+// shards must exit 0. This is the in-process twin of `make shard-smoke`.
+func TestRunShardedSweepClean(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-n", "4", "-seed", "1", "-shards", "2", "-parallel", "1"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 failed") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+// TestRunMutantCaughtSharded demands the seeded soft-state-expiry bug
+// is still caught when the sweep runs on the sharded kernel — the
+// oracle must not lose its teeth to the parallel execution path.
+func TestRunMutantCaughtSharded(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-n", "20", "-seed", "1", "-shards", "4",
+		"-mutant", "-minimize=false", "-parallel", "1"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "oracle caught the seeded bug") ||
+		strings.Contains(out.String(), "caught the seeded bug in 0\n") {
+		t.Fatalf("mutant sweep output:\n%s", out.String())
+	}
+}
+
+// TestRunReplay round-trips a generated scenario through -replay on the
+// sharded kernel.
+func TestRunReplay(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(p, []byte(fuzzscen.Generate(3).JSON()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	code := run([]string{"-replay", p, "-shards", "2"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "replay: clean") {
+		t.Fatalf("replay output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-replay", filepath.Join(t.TempDir(), "nope.json")},
+		&out, &errw); code != 2 {
+		t.Fatalf("missing replay file: exit %d, want 2", code)
+	}
+}
+
+// TestRunFlagValidation pins the usage-error exits.
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-parallel", "0"},
+		{"-shards", "0"},
+		{"-shards", "2", "-backend", "live"},
+		{"-backend", "carrier-pigeon"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out, errw strings.Builder
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}

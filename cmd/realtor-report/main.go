@@ -165,6 +165,27 @@ func main() {
 		slst.PerNodeLambda, slst.Radius, float64(slst.Duration),
 		experiment.ScaleTable(experiment.RunScaleLarge(slst, protos[4], *seed))))
 
+	// A2-XL: the metric columns are deterministic (and verified
+	// byte-identical across shard counts by RunScaleXL itself), but the
+	// wall/speedup columns are wall-clock measurements — the one part of
+	// the results tree expected to differ between machines.
+	xlst := experiment.DefaultScaleXL()
+	if *quick {
+		xlst.Sides = []int{100}
+		xlst.ShardCounts = []int{1, 2}
+	}
+	xl, err := experiment.RunScaleXL(xlst, protos[4], *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	write("scale_xl.txt", fmt.Sprintf(
+		"# A2-XL sharded kernel on meshes of 10k to ~100k nodes, per-node\n"+
+			"# load %g tasks/s, %d-hop flood scope. Stats columns verified\n"+
+			"# byte-identical across shard counts; wall/speedup columns vary\n"+
+			"# with the machine (see EXPERIMENTS.md A2-XL).\n%s",
+		xlst.PerNodeLambda, xlst.Radius, experiment.XLTable(xl)))
+
 	write("ablation.txt", "# A3 Algorithm H alpha/beta at λ=7\n"+
 		experiment.AblationTable(experiment.RunAlphaBeta(
 			[]float64{0.1, 0.25, 0.5, 1.0}, []float64{0.1, 0.25, 0.5, 0.9}, 7, *seed)))

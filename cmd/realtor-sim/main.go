@@ -10,7 +10,9 @@
 //	realtor-sim -fig 8                  # migration rate vs λ
 //	realtor-sim -fig all                # figures 5-8 in one sweep
 //	realtor-sim -fig scale              # per-node overhead vs system size
-//	realtor-sim -fig scale-large        # large meshes, up to 50x50 (2500 nodes)
+//	realtor-sim -fig scale-large        # large meshes, up to 100x100 (10k nodes)
+//	realtor-sim -fig scale-xl           # 10k-100k nodes, shard counts 1/2/4/8
+//	                                    # with per-count wall time and speedup
 //	realtor-sim -fig ab                 # Algorithm H α/β ablation
 //	realtor-sim -fig fed                # inter-group federation (future work)
 //	realtor-sim -fig sec                # security-constrained placement under attack
@@ -23,6 +25,9 @@
 //	realtor-sim -duration 5000 -reps 5  # longer, tighter runs
 //	realtor-sim -parallel 8             # 8 worker goroutines (default GOMAXPROCS)
 //	realtor-sim -parallel 1             # sequential reference run (same output)
+//	realtor-sim -shards 4               # conservative-parallel kernel, 4 shards
+//	                                    # (same output as -shards 1, faster walls)
+//	realtor-sim -kernelstats            # one diagnostic run + scheduler counters
 //	realtor-sim -cpuprofile cpu.pprof   # profile the run (go tool pprof cpu.pprof)
 //	realtor-sim -memprofile mem.pprof   # heap profile written at exit
 //
@@ -34,15 +39,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"realtor/internal/engine"
 	"realtor/internal/experiment"
 	"realtor/internal/protocol"
+	"realtor/internal/rng"
 	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
 )
 
 // startProfiles begins CPU profiling (if cpu is non-empty) and returns a
@@ -83,7 +93,7 @@ func startProfiles(cpu, mem string) func() {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|scale-large|ab|fed|sec|loss|gossip|retries|community|partition")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|scale-large|scale-xl|ab|fed|sec|loss|gossip|retries|community|partition")
 	duration := flag.Float64("duration", 2200, "simulated seconds per run")
 	reps := flag.Int("reps", 3, "independent replications per point")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -93,20 +103,35 @@ func main() {
 	lambdas := flag.String("lambdas", "1,2,3,4,5,6,7,8,9,10", "comma-separated task arrival rates")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for independent runs (output is identical for any value)")
+	shards := flag.Int("shards", 1,
+		"event-kernel shards per run (output is identical for any value; > 1 runs the conservative-parallel kernel)")
+	kernelstats := flag.Bool("kernelstats", false,
+		"run one diagnostic REALTOR simulation and print scheduler kernel counters")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "realtor-sim: -shards must be at least 1")
+		os.Exit(2)
+	}
 	experiment.SetParallelism(*parallel)
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()
 
+	if *kernelstats {
+		runKernelStats(os.Stdout, *seed, *shards, sim.Time(*duration))
+		return
+	}
+
 	switch *fig {
 	case "5", "6", "7", "8", "all":
-		runFigures(*fig, *lambdas, *duration, *reps, *seed, *csv, *asPlot, *diff)
+		runFigures(*fig, *lambdas, *duration, *reps, *seed, *csv, *asPlot, *diff, *shards)
 	case "scale":
 		runScale(*seed)
 	case "scale-large":
-		runScaleLarge(*seed)
+		runScaleLarge(*seed, *shards)
+	case "scale-xl":
+		runScaleXL(*seed)
 	case "ab":
 		runAblation(*seed)
 	case "fed":
@@ -143,11 +168,12 @@ func parseLambdas(s string) []float64 {
 	return out
 }
 
-func runFigures(fig, lambdaList string, duration float64, reps int, seed int64, csv, asPlot, diff bool) {
+func runFigures(fig, lambdaList string, duration float64, reps int, seed int64, csv, asPlot, diff bool, shards int) {
 	sc := experiment.DefaultSweep()
 	sc.Lambdas = parseLambdas(lambdaList)
 	sc.Engine.Duration = sim.Time(duration)
 	sc.Engine.Warmup = sim.Time(duration) / 10
+	sc.Engine.Shards = shards
 	sc.Replications = reps
 	sc.BaseSeed = seed
 
@@ -199,15 +225,62 @@ func runScale(seed int64) {
 	fmt.Print(experiment.ScaleTable(experiment.RunScale(sizes, 0.18, 2, p, seed)))
 }
 
-func runScaleLarge(seed int64) {
+func runScaleLarge(seed int64, shards int) {
 	st := experiment.DefaultScaleLarge()
+	st.Shards = shards
 	p := experiment.StandardProtocols(protocol.DefaultConfig())[4] // REALTOR
-	fmt.Println("# Large-mesh scalability: REALTOR on square meshes up to 50x50")
-	fmt.Printf("# (2500 nodes), fixed per-node load %g tasks/s, floods scoped to\n", st.PerNodeLambda)
+	fmt.Println("# Large-mesh scalability: REALTOR on square meshes up to 100x100")
+	fmt.Printf("# (10000 nodes), fixed per-node load %g tasks/s, floods scoped to\n", st.PerNodeLambda)
 	fmt.Printf("# a %d-hop multicast group. Feasible at this size because distance\n", st.Radius)
 	fmt.Println("# rows are built lazily per source and link faults re-BFS only the")
 	fmt.Println("# rows they can change (see DESIGN.md, incremental distances).")
 	fmt.Print(experiment.ScaleTable(experiment.RunScaleLarge(st, p, seed)))
+}
+
+func runScaleXL(seed int64) {
+	st := experiment.DefaultScaleXL()
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4] // REALTOR
+	fmt.Println("# Extra-large scalability (A2-XL): REALTOR on meshes of 10k to ~100k")
+	fmt.Printf("# nodes, per-node load %g tasks/s, %d-hop flood scope, run on the\n",
+		st.PerNodeLambda, st.Radius)
+	fmt.Println("# event kernel at each shard count. The stats columns are verified")
+	fmt.Println("# byte-identical across shard counts before the table prints; the")
+	fmt.Println("# wall/speedup columns are measurements and vary with the machine.")
+	pts, err := experiment.RunScaleXL(st, p, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "realtor-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiment.XLTable(pts))
+}
+
+// runKernelStats drives one REALTOR run at λ=7 on the paper's 5x5 mesh
+// (sharded as requested) and prints the scheduler kernel's counters —
+// the observable behind the event-pool reuse claim: Reused/Scheduled
+// near 1 means steady-state scheduling stopped allocating.
+func runKernelStats(w io.Writer, seed int64, shards int, duration sim.Time) {
+	ecfg := engine.Config{
+		Graph:         topology.Mesh(5, 5),
+		QueueCapacity: 100,
+		HopDelay:      0.01,
+		Threshold:     0.9,
+		Warmup:        duration / 10,
+		Duration:      duration,
+		Seed:          seed,
+		Shards:        shards,
+	}
+	e := engine.New(ecfg, experiment.StandardProtocols(protocol.DefaultConfig())[4].Build)
+	st := e.Run(workload.NewPoisson(7, 5, ecfg.Graph.N(), rng.New(seed)))
+	ks := e.KernelStats()
+	fmt.Fprintf(w, "# one REALTOR run: 5x5 mesh, lambda=7, duration=%gs, shards=%d\n",
+		float64(duration), e.Shards())
+	fmt.Fprintf(w, "admitted           %d/%d\n", st.Admitted, st.Offered)
+	fmt.Fprintf(w, "events scheduled   %d\n", ks.Scheduled)
+	fmt.Fprintf(w, "events fired       %d\n", ks.Fired)
+	fmt.Fprintf(w, "slots reused       %d (%.1f%% of schedules)\n",
+		ks.Reused, 100*float64(ks.Reused)/float64(max(ks.Scheduled, 1)))
+	fmt.Fprintf(w, "pool high-water    %d\n", ks.PoolSize)
+	fmt.Fprintf(w, "still pending      %d\n", ks.Pending)
 }
 
 func runFederation(seed int64) {

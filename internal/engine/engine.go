@@ -4,10 +4,18 @@
 // arrival → local-admission → one-try-migration pipeline of the paper's
 // Section 5 experiments. It also exposes Kill/Revive so the attack
 // injectors can exercise the survivability path.
+//
+// The engine runs either single-threaded (the classic kernel) or
+// sharded across worker goroutines under a conservative-lookahead
+// coordinator (shard.go) — cfg.Shards selects; results are byte-
+// identical either way because every event carries a creator-assigned
+// canonical key (sim.EventKey) that fixes the order of simultaneous
+// events independently of scheduling interleaving.
 package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"realtor/internal/metrics"
@@ -33,6 +41,23 @@ type Config struct {
 	Threshold  float64  // crossing-detection threshold (paper: 0.9)
 	Warmup     sim.Time // stats excluded before this time
 	Duration   sim.Time // arrivals stop here; in-flight work settles after
+
+	// Shards splits the mesh into that many contiguous node-ID bands,
+	// each with its own event queue and worker goroutine, synchronized
+	// by conservative lookahead (DESIGN.md §10). 0 or 1 runs the classic
+	// single-threaded kernel. Requires HopDelay > 0 when > 1 (zero-delay
+	// messages leave no lookahead to parallelize under). Results are
+	// byte-identical at every shard count.
+	Shards int
+
+	// InlineHooks delivers Trace/Observer callbacks synchronously from
+	// worker goroutines when Shards > 1, instead of buffering them for
+	// ordered replay at the next phase barrier. Consumers must then be
+	// concurrency-safe (the harness funnel is) and tolerate cross-shard
+	// interleaving; per-callback engine state is live at call time,
+	// which the invariant oracle's headroom checks need. Single-shard
+	// runs always deliver inline.
+	InlineHooks bool
 
 	// RerouteDeadArrivals sends tasks that arrive at a dead node to a
 	// random alive node instead of dropping them (attack experiments).
@@ -97,7 +122,8 @@ type Config struct {
 	// comparison on the hot path.
 	Observer Observer
 
-	// Seed drives engine-internal choices (dead-arrival rerouting).
+	// Seed drives engine-internal choices (dead-arrival rerouting,
+	// per-node loss streams).
 	Seed int64
 }
 
@@ -110,6 +136,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: queue capacity %v must be positive", c.QueueCapacity)
 	case c.HopDelay < 0:
 		return fmt.Errorf("engine: negative hop delay")
+	case c.Shards < 0:
+		return fmt.Errorf("engine: negative shard count")
+	case c.Shards > 1 && c.HopDelay == 0:
+		return fmt.Errorf("engine: Shards > 1 needs positive HopDelay (conservative lookahead is HopDelay × min cross-shard distance)")
 	case c.Threshold <= 0 || c.Threshold > 1:
 		return fmt.Errorf("engine: threshold %v outside (0,1]", c.Threshold)
 	case c.Warmup < 0 || c.Duration <= c.Warmup:
@@ -160,16 +190,49 @@ type Observer = trace.MessageObserver
 // on revival).
 type Builder func() protocol.Discovery
 
+// srcArrival is the canonical tie-break namespace of workload arrivals:
+// after external control events (sim.SrcExternal = -2) and before every
+// per-node namespace (node IDs, ≥ 0). Sequence numbers are the global
+// arrival index — the workload source is one ordered stream.
+const srcArrival int32 = -1
+
+// diamExactLimit is the node count above which Run sizes its settling
+// window from the two-BFS DiameterUpperBound instead of the exact
+// Diameter (any upper bound yields a correct settle). 4096 keeps every
+// committed study (≤ 2500 nodes) on the exact path, and — because the
+// choice depends only on N — the window is identical at every shard
+// count.
+const diamExactLimit = 4096
+
+// distUnknown marks a delivery distance the sender has not computed
+// (topology.Graph.Dist uses -1 for "unreachable", so the sentinel must
+// sit outside its range).
+const distUnknown = -2
+
+// Arrival resolution modes: where a task actually lands.
+const (
+	arrNormal        uint8 = iota // execute on the resolved node
+	arrRejectDead                 // target dead, rerouting off
+	arrRejectNoAlive              // rerouting on, but no node is alive
+)
+
 // Engine is one configured simulation.
 type Engine struct {
 	cfg   Config
-	sched *sim.Scheduler
+	sched *sim.Scheduler // external/global events; the only queue when shards == 1
 	cost  protocol.CostModel
-	nodes []*node.Node
+	nodes []node.Node // value slice: node state is contiguous in memory
 	disco []protocol.Discovery
 	envs  []*nodeEnv
 	build Builder
-	rnd   *rng.Stream
+
+	// rerouteRnd drives dead-arrival rerouting — a dedicated stream
+	// drawn in arrival order, so draws are identical at any shard count.
+	rerouteRnd *rng.Stream
+	// lossRnd holds one 16-byte generator per node (allocated only when
+	// LossProb > 0); each sender draws losses from its own stream in its
+	// own canonical send order, decoupling draws from interleaving.
+	lossRnd []rng.Light
 
 	// graph is the live topology view every flood/unicast routes
 	// through: initially cfg.Graph, replaced by a private clone on the
@@ -179,31 +242,59 @@ type Engine struct {
 	graph     *topology.Graph
 	ownsGraph bool
 
-	stats metrics.RunStats
+	// sharding
+	shards  int
+	shardOf []int32
+	ctxs    []*shardCtx
+	delta   sim.Time // conservative lookahead; +Inf when shards never interact
+	inline  bool     // emit hooks synchronously (shards == 1 or cfg.InlineHooks)
+
+	// inGlobal is set while the coordinator fires a global event at a
+	// barrier. All shard clocks are synced and the workers idle, so any
+	// node activity the handler triggers (an Inject's threshold flood,
+	// say) emits hooks directly — buffering it under the home shard's
+	// stale last-fired key would misplace it in the canonical order.
+	inGlobal bool
+
+	// canonical-key state: per-creator monotone sequence counters.
+	// nodeSeq[i] is touched only by node i's shard (or by the
+	// coordinator at a barrier), arrSeq only by the arrival puller.
+	nodeSeq []uint64
+	arrSeq  uint64
+
+	// statsPer accumulates run statistics on the node each event
+	// executes at; Stats() merges in node-ID order, so even the float
+	// sums are bit-identical at every shard count.
+	statsPer []metrics.RunStats
 
 	// crossing detection state per node
 	above     []bool
 	crossEvs  []sim.Event
 	crossings []crossing // one persistent downward-crossing runner per node
 
-	// hot-path runner pools: recycled message deliveries, recycled
-	// in-flight migrations, and the single reusable arrival event (at
-	// most one arrival is pending at a time).
-	freeDeliveries *delivery
-	freeMigrations *migration
-	arrival        *arrival
+	// single-shard runs keep the one reusable pull-as-you-go arrival
+	// runner (at most one arrival is pending at a time).
+	arrival *arrival
 
 	// generation per node: bumped on kill so stale timers no-op
 	gen []int
 
 	// extra observability
 	protoName string
-	bins      []Bin
 
-	// scoped-flood support: per-node member sets and flood costs,
-	// computed once when cfg.FloodRadius > 0
+	// scoped-flood support: per-node member sets, flood costs, and hop
+	// distances (recorded free during the scope BFS, so the flood hot
+	// path never materializes all-pairs distance rows on large meshes)
 	scope     [][]topology.NodeID
 	scopeCost []float64
+	scopeDist [][]int32
+
+	// coordinator state (shards > 1)
+	pull        workload.Task
+	pullOK      bool
+	pullSrc     workload.Source
+	emitScratch []emitRec
+	outScratch  []outcomeRec
 }
 
 // Bin is one interval of the optional admission timeline.
@@ -230,22 +321,52 @@ func New(cfg Config, build Builder) *Engine {
 	}
 	n := cfg.Graph.N()
 	e := &Engine{
-		cfg:   cfg,
-		graph: cfg.Graph,
+		cfg:        cfg,
+		graph:      cfg.Graph,
+		cost:       protocol.NewCostModel(cfg.Graph),
+		nodes:      make([]node.Node, n),
+		disco:      make([]protocol.Discovery, n),
+		envs:       make([]*nodeEnv, n),
+		build:      build,
+		rerouteRnd: rng.New(cfg.Seed).Derive("engine"),
+		nodeSeq:    make([]uint64, n),
+		statsPer:   make([]metrics.RunStats, n),
+		above:      make([]bool, n),
+		crossEvs:   make([]sim.Event, n),
+		crossings:  make([]crossing, n),
+		gen:        make([]int, n),
+	}
+	e.shardOf = topology.ShardAssign(cfg.Graph, max(cfg.Shards, 1))
+	e.shards = int(e.shardOf[n-1]) + 1 // bands are contiguous: last node holds the max
+	e.inline = e.shards == 1 || cfg.InlineHooks
+	e.delta = sim.Time(math.Inf(1)) // mutually unreachable shards never interact
+	e.ctxs = make([]*shardCtx, e.shards)
+	if e.shards == 1 {
 		// Pending events scale with node count (in-flight deliveries,
 		// per-node timers and crossing events); the hint absorbs the
 		// ramp-up regrowth without a measurable footprint for small runs.
-		sched:     sim.NewScheduler(8 * n),
-		cost:      protocol.NewCostModel(cfg.Graph),
-		nodes:     make([]*node.Node, n),
-		disco:     make([]protocol.Discovery, n),
-		envs:      make([]*nodeEnv, n),
-		build:     build,
-		rnd:       rng.New(cfg.Seed).Derive("engine"),
-		above:     make([]bool, n),
-		crossEvs:  make([]sim.Event, n),
-		crossings: make([]crossing, n),
-		gen:       make([]int, n),
+		e.sched = sim.NewScheduler(8 * n)
+		e.ctxs[0] = &shardCtx{e: e, sched: e.sched}
+	} else {
+		e.sched = sim.NewScheduler(64) // external control events only
+		counts := make([]int, e.shards)
+		for _, s := range e.shardOf {
+			counts[s]++
+		}
+		for k := range e.ctxs {
+			// Per-shard capacity hint: this shard's node count, not the
+			// global mesh — a shard holds only its own nodes' events.
+			e.ctxs[k] = &shardCtx{e: e, idx: int32(k), sched: sim.NewScheduler(8 * counts[k])}
+		}
+		if mc := topology.MinCrossShardDist(cfg.Graph, e.shardOf); mc > 0 {
+			e.delta = cfg.HopDelay * sim.Time(mc)
+		}
+	}
+	if cfg.LossProb > 0 {
+		e.lossRnd = make([]rng.Light, n)
+		for i := range e.lossRnd {
+			e.lossRnd[i] = rng.SeedLight(uint64(cfg.Seed), uint64(i))
+		}
 	}
 	for i := 0; i < n; i++ {
 		e.crossings[i] = crossing{e: e, id: topology.NodeID(i)}
@@ -253,23 +374,37 @@ func New(cfg Config, build Builder) *Engine {
 		if cfg.Capacities != nil && cfg.Capacities[i] > 0 {
 			capacity = cfg.Capacities[i]
 		}
-		e.nodes[i] = node.New(topology.NodeID(i), capacity)
-		e.envs[i] = &nodeEnv{engine: e, id: topology.NodeID(i)}
-		e.disco[i] = build()
-		e.disco[i].Attach(e.envs[i])
+		e.nodes[i] = *node.New(topology.NodeID(i), capacity)
+		e.envs[i] = &nodeEnv{engine: e, id: topology.NodeID(i), ctx: e.ctxs[e.shardOf[i]]}
 	}
-	e.protoName = e.disco[0].Name()
 	if cfg.FloodRadius > 0 {
 		e.buildScopes()
 	} else if cfg.Groups != nil {
 		e.buildGroupScopes()
 	}
+	// Attach after all shard state exists: protocols may arm timers (and
+	// even send) from Attach, and those events need their canonical keys
+	// and home queues.
+	for i := 0; i < n; i++ {
+		e.disco[i] = build()
+		e.disco[i].Attach(e.envs[i])
+	}
+	e.protoName = e.disco[0].Name()
 	return e
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // buildGroupScopes derives per-node flood scopes from the group
 // partition: a flood reaches the sender's group members and is charged
-// the group's internal links.
+// the group's internal links. (Group distances are not precomputed —
+// federation studies run on small meshes where live Dist lookups are
+// cheap.)
 func (e *Engine) buildGroupScopes() {
 	n := e.cfg.Graph.N()
 	e.scope = make([][]topology.NodeID, n)
@@ -297,8 +432,13 @@ func (e *Engine) buildGroupScopes() {
 }
 
 // buildScopes precomputes, for each node, the multicast-group members
-// (nodes within FloodRadius hops) and the scoped flood cost (links of the
-// induced subgraph — the links a radius-bounded flood actually crosses).
+// (nodes within FloodRadius hops), the scoped flood cost (links of the
+// induced subgraph — the links a radius-bounded flood actually crosses),
+// and the hop distance to every member, which the BFS discovers anyway.
+// Keeping those distances lets the delivery hot path skip Dist entirely
+// while the graph is unmutated — on a 100k-node mesh, lazily
+// materializing a 100k-entry distance row per flooding node is the
+// difference between running and thrashing.
 //
 // It runs a radius-bounded BFS per source over a stamped visited array
 // instead of querying the all-pairs distance matrix: cost O(N · |scope|)
@@ -309,6 +449,7 @@ func (e *Engine) buildScopes() {
 	r := e.cfg.FloodRadius
 	e.scope = make([][]topology.NodeID, n)
 	e.scopeCost = make([]float64, n)
+	e.scopeDist = make([][]int32, n)
 	stamp := make([]int, n) // stamp[v] == cur ⇔ v is in the current scope
 	depth := make([]int, n)
 	queue := make([]topology.NodeID, 0, 64)
@@ -344,23 +485,48 @@ func (e *Engine) buildScopes() {
 		}
 		e.scopeCost[i] = float64(links)
 		scope := make([]topology.NodeID, 0, len(members)-1)
+		dists := make([]int32, 0, len(members)-1)
 		for _, m := range members {
 			if m != src {
 				scope = append(scope, m)
+				dists = append(dists, int32(depth[m]))
 			}
 		}
 		e.scope[i] = scope
+		e.scopeDist[i] = dists
 	}
+}
+
+// dist returns the live hop distance between two nodes. While the
+// configured graph is unmutated and scopes exist, distances to scope
+// members come from the scope tables (bit-identical to a BFS, no row
+// materialization); after the first CutLink/RestoreLink every lookup
+// goes to the live graph.
+func (e *Engine) dist(from, to topology.NodeID) int {
+	if e.scopeDist != nil && !e.ownsGraph {
+		row := e.scope[from]
+		i := sort.Search(len(row), func(i int) bool { return row[i] >= to })
+		if i < len(row) && row[i] == to {
+			return int(e.scopeDist[from][i])
+		}
+	}
+	return e.graph.Dist(from, to)
 }
 
 // ProtocolName returns the Name() of the protocol under test.
 func (e *Engine) ProtocolName() string { return e.protoName }
 
-// Scheduler exposes the clock for attack injectors and tests.
+// Scheduler exposes the clock for attack injectors and tests. In a
+// sharded engine this is the global queue: events scheduled here run
+// alone at phase barriers, with every shard clock synced to their
+// instant — manual RunUntil driving is a single-shard facility.
 func (e *Engine) Scheduler() *sim.Scheduler { return e.sched }
 
+// Shards returns the effective shard count (1 for the classic kernel).
+func (e *Engine) Shards() int { return e.shards }
+
 // Node returns the i-th node for inspection.
-func (e *Engine) Node(id topology.NodeID) *node.Node { return e.nodes[id] }
+func (e *Engine) Node(id topology.NodeID) *node.Node { return &e.nodes[id] }
 
 // Discovery returns the protocol instance on a node, for inspection.
 func (e *Engine) Discovery(id topology.NodeID) protocol.Discovery { return e.disco[id] }
@@ -373,29 +539,83 @@ func (e *Engine) measuring(t sim.Time) bool {
 	return t >= e.cfg.Warmup && t < e.cfg.Duration
 }
 
-// Run drives tasks from src until cfg.Duration, lets in-flight work
-// settle, and returns the run's statistics. It may be called once.
-func (e *Engine) Run(src workload.Source) metrics.RunStats {
-	e.scheduleNext(src)
-	e.sched.RunUntil(e.cfg.Duration)
-	// Grace period: no new arrivals (scheduleNext stops generating), but
-	// in-flight migrations and deliveries complete. Message costs incurred
-	// after Duration are outside the measurement window by definition.
-	diam := e.graph.Diameter()
+// settleEnd sizes the post-Duration grace window: long enough for every
+// in-flight delivery and migration try (each try is a transfer leg plus
+// a result leg, ≤ 2 × diameter hops) to land. Above diamExactLimit
+// nodes the exact diameter gives way to the two-BFS upper bound — any
+// upper bound settles correctly, and the threshold depends only on N,
+// so the window is identical at every shard count.
+func (e *Engine) settleEnd() sim.Time {
+	var diam int
+	if e.graph.N() > diamExactLimit {
+		diam = e.graph.DiameterUpperBound()
+	} else {
+		diam = e.graph.Diameter()
+	}
 	if diam < 0 {
 		diam = e.graph.N()
 	}
-	e.sched.RunUntil(e.cfg.Duration + 2*e.cfg.HopDelay*sim.Time(diam) + 1)
-	if err := e.stats.Validate(); err != nil {
+	tries := e.cfg.MaxTries
+	if tries < 1 {
+		tries = 1
+	}
+	return e.cfg.Duration + 2*e.cfg.HopDelay*sim.Time(diam)*sim.Time(tries) + 1
+}
+
+// Run drives tasks from src until cfg.Duration, lets in-flight work
+// settle, and returns the run's statistics. It may be called once.
+func (e *Engine) Run(src workload.Source) metrics.RunStats {
+	if e.shards == 1 {
+		e.scheduleNext(src)
+		e.sched.RunUntil(e.cfg.Duration)
+		// Grace period: no new arrivals (scheduleNext stops generating),
+		// but in-flight migrations and deliveries complete. Message costs
+		// incurred after Duration are outside the measurement window by
+		// definition.
+		e.sched.RunUntil(e.settleEnd())
+	} else {
+		e.runSharded(src)
+	}
+	st := e.Stats()
+	if err := st.Validate(); err != nil {
 		panic(err) // engine bug, not user error: fail loudly
 	}
-	return e.stats
+	return st
 }
 
 // Stats returns the statistics accumulated so far (useful mid-run in
-// attack scenarios driving the scheduler manually).
-func (e *Engine) Stats() metrics.RunStats { return e.stats }
+// attack scenarios driving the scheduler manually, or from a study
+// ticker — which in a sharded run fires at a barrier, when per-node
+// accumulators are quiescent). Per-node stats merge in node-ID order,
+// so even floating-point sums are independent of the shard count.
+func (e *Engine) Stats() metrics.RunStats {
+	var out metrics.RunStats
+	for i := range e.statsPer {
+		out.Add(e.statsPer[i])
+	}
+	return out
+}
 
+// KernelStats aggregates scheduler effort counters across the global
+// queue and every shard queue.
+func (e *Engine) KernelStats() sim.KernelStats {
+	ks := e.sched.KernelStats()
+	if e.shards > 1 {
+		for _, c := range e.ctxs {
+			k := c.sched.KernelStats()
+			ks.Scheduled += k.Scheduled
+			ks.Fired += k.Fired
+			ks.Reused += k.Reused
+			ks.PoolSize += k.PoolSize
+			ks.Pending += k.Pending
+		}
+	}
+	return ks
+}
+
+// scheduleNext arms the single-shard arrival runner with the next task
+// (sharded runs pre-pull arrivals phase by phase instead; see
+// pullArrivals).
 func (e *Engine) scheduleNext(src workload.Source) {
 	t, ok := src.Next()
 	if !ok || t.Arrive >= e.cfg.Duration {
@@ -406,7 +626,8 @@ func (e *Engine) scheduleNext(src workload.Source) {
 	}
 	e.arrival.src = src
 	e.arrival.task = t
-	e.sched.AtRunner(t.Arrive, e.arrival)
+	e.sched.AtKeyed(t.Arrive, srcArrival, e.arrSeq, e.arrival)
+	e.arrSeq++
 }
 
 // arrival is the engine's single reusable arrival runner: the workload
@@ -420,26 +641,54 @@ type arrival struct {
 
 // Fire implements sim.Runner.
 func (a *arrival) Fire(now sim.Time) {
-	t := a.task
-	a.e.handleArrival(now, t)
-	a.e.scheduleNext(a.src)
+	e, t := a.e, a.task
+	exec, mode := e.resolveArrival(t)
+	e.handleArrival(e.ctxs[0], now, t, exec, mode)
+	e.scheduleNext(a.src)
 }
 
-// binFor returns the timeline bin covering time t, or nil if binning is
-// off. Bins are appended lazily since arrivals come in time order.
-func (e *Engine) binFor(t sim.Time) *Bin {
+// binFor returns the timeline bin covering time t on the executing
+// shard's slice of the timeline, or nil if binning is off. Bins are
+// appended lazily; Bins() merges the slices by interval index.
+func (e *Engine) binFor(c *shardCtx, t sim.Time) *Bin {
 	if e.cfg.BinWidth <= 0 {
 		return nil
 	}
 	idx := int(t / e.cfg.BinWidth)
-	for len(e.bins) <= idx {
-		e.bins = append(e.bins, Bin{Start: sim.Time(len(e.bins)) * e.cfg.BinWidth})
+	for len(c.bins) <= idx {
+		c.bins = append(c.bins, Bin{Start: sim.Time(len(c.bins)) * e.cfg.BinWidth})
 	}
-	return &e.bins[idx]
+	return &c.bins[idx]
 }
 
 // Bins returns the admission timeline (empty unless cfg.BinWidth > 0).
-func (e *Engine) Bins() []Bin { return e.bins }
+// Bin counts are unsigned sums merged by interval index, so the result
+// is identical at every shard count.
+func (e *Engine) Bins() []Bin {
+	if e.shards == 1 {
+		return e.ctxs[0].bins
+	}
+	maxLen := 0
+	for _, c := range e.ctxs {
+		if len(c.bins) > maxLen {
+			maxLen = len(c.bins)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]Bin, maxLen)
+	for i := range out {
+		out[i].Start = sim.Time(i) * e.cfg.BinWidth
+	}
+	for _, c := range e.ctxs {
+		for i, b := range c.bins {
+			out[i].Offered += b.Offered
+			out[i].Admitted += b.Admitted
+		}
+	}
+	return out
+}
 
 // Attrs returns a node's current placement attributes (zero when the
 // engine runs unconstrained).
@@ -452,7 +701,9 @@ func (e *Engine) Attrs(id topology.NodeID) resource.Attrs {
 
 // SetAttrs changes a node's attributes at runtime — the hook security
 // attacks use to downgrade a host's clearance mid-run. It is a no-op
-// refinement when the engine was built without attributes.
+// refinement when the engine was built without attributes. Like
+// Kill/Revive it must run from a global (external) event: attribute
+// state is read cross-shard mid-phase and may only change at barriers.
 func (e *Engine) SetAttrs(id topology.NodeID, a resource.Attrs) {
 	if e.cfg.Attrs == nil {
 		e.cfg.Attrs = make([]resource.Attrs, e.cfg.Graph.N())
@@ -468,47 +719,54 @@ func (e *Engine) satisfies(id topology.NodeID, req resource.Attrs) bool {
 	return e.cfg.Attrs[id].Satisfies(req)
 }
 
-func (e *Engine) outcome(t workload.Task, admitted bool) {
-	if e.cfg.OnOutcome != nil {
-		e.cfg.OnOutcome(t, admitted)
+// resolveArrival decides where a task actually lands: its target, a
+// rerouted alive node, or nowhere (with the reject mode saying why).
+// The reroute draw comes from a dedicated stream in arrival order; the
+// single-shard kernel resolves at fire time, the coordinator at pull
+// time — between phases — and both see the same alive set because
+// kills/revives are global events that bound every phase.
+func (e *Engine) resolveArrival(t workload.Task) (topology.NodeID, uint8) {
+	id := t.Node
+	if e.nodes[id].Alive() {
+		return id, arrNormal
 	}
+	if !e.cfg.RerouteDeadArrivals {
+		return id, arrRejectDead
+	}
+	alt, ok := e.randomAlive()
+	if !ok {
+		return id, arrRejectNoAlive
+	}
+	return alt, arrNormal
 }
 
-func (e *Engine) trace(ev trace.Event) {
-	if e.cfg.Trace != nil {
-		e.cfg.Trace.Record(ev)
-	}
-}
-
-func (e *Engine) handleArrival(now sim.Time, t workload.Task) {
+// handleArrival runs a resolved arrival on its execution node's shard.
+func (e *Engine) handleArrival(c *shardCtx, now sim.Time, t workload.Task,
+	id topology.NodeID, mode uint8) {
 	measured := e.measuring(now)
+	st := &e.statsPer[id]
 	if measured {
-		e.stats.Offered++
+		st.Offered++
 	}
-	if b := e.binFor(now); b != nil {
+	if b := e.binFor(c, now); b != nil {
 		b.Offered++
 	}
-	e.trace(trace.Event{At: now, Kind: trace.Arrival, Node: t.Node, Peer: -1, Size: t.Size})
-	id := t.Node
-	if !e.nodes[id].Alive() {
-		if !e.cfg.RerouteDeadArrivals {
-			if measured {
-				e.stats.Rejected++
-			}
-			e.trace(trace.Event{At: now, Kind: trace.Reject, Node: id, Peer: -1, Size: t.Size, Info: "dead-node"})
-			e.outcome(t, false)
-			return
+	e.traceCtx(c, trace.Event{At: now, Kind: trace.Arrival, Node: t.Node, Peer: -1, Size: t.Size})
+	switch mode {
+	case arrRejectDead:
+		if measured {
+			st.Rejected++
 		}
-		alt, ok := e.randomAlive()
-		if !ok {
-			if measured {
-				e.stats.Rejected++
-			}
-			e.trace(trace.Event{At: now, Kind: trace.Reject, Node: id, Peer: -1, Size: t.Size, Info: "no-alive-node"})
-			e.outcome(t, false)
-			return
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.Reject, Node: id, Peer: -1, Size: t.Size, Info: "dead-node"})
+		e.outcomeCtx(c, t, false)
+		return
+	case arrRejectNoAlive:
+		if measured {
+			st.Rejected++
 		}
-		id = alt
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.Reject, Node: id, Peer: -1, Size: t.Size, Info: "no-alive-node"})
+		e.outcomeCtx(c, t, false)
+		return
 	}
 
 	// Let the discovery protocol see the arrival first (Algorithm H's
@@ -526,60 +784,61 @@ func (e *Engine) handleArrival(now sim.Time, t workload.Task) {
 
 	if compatible && e.nodes[id].Accept(now, t.Size) {
 		if measured {
-			e.stats.Admitted++
+			st.Admitted++
 		}
-		if b := e.binFor(now); b != nil {
+		if b := e.binFor(c, now); b != nil {
 			b.Admitted++
 		}
-		e.trace(trace.Event{At: now, Kind: trace.AdmitLocal, Node: id, Peer: -1, Size: t.Size})
-		e.outcome(t, true)
-		e.afterAccept(now, id)
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.AdmitLocal, Node: id, Peer: -1, Size: t.Size})
+		e.outcomeCtx(c, t, true)
+		e.afterAccept(c, now, id)
 		return
 	}
-	e.tryMigration(now, id, t, measured)
+	e.tryMigrationN(c, now, id, t, measured, 1)
 }
 
-// tryMigration implements the migration try: ask the local protocol for
-// candidates, negotiate with the best one, ship the task, and — within
-// cfg.MaxTries — walk to the next candidate when a destination turns out
-// to be full (Section 3's behaviour; the Section 5 simulation uses the
-// default of a single try).
-func (e *Engine) tryMigration(now sim.Time, from topology.NodeID, t workload.Task, measured bool) {
-	e.tryMigrationN(now, from, t, measured, 1)
-}
-
-func (e *Engine) tryMigrationN(now sim.Time, from topology.NodeID, t workload.Task,
-	measured bool, attempt int) {
+// tryMigrationN implements one migration try: ask the local protocol for
+// candidates, ship the task to the best one, and — within cfg.MaxTries —
+// walk to the next candidate when a destination turns out to be full
+// (Section 3's behaviour; the Section 5 simulation uses the default of a
+// single try). The try is two timed legs: the transfer to the candidate
+// (migration, executing on the target's shard) and the outcome report
+// back (migResult, executing on the origin's shard) — matching the
+// paper's architecture, where the origin learns the verdict a network
+// round-trip later, and giving the conservative coordinator real
+// latency to parallelize under.
+func (e *Engine) tryMigrationN(c *shardCtx, now sim.Time, from topology.NodeID,
+	t workload.Task, measured bool, attempt int) {
 	cands := e.disco[from].Candidates(t.Size)
 	var target topology.NodeID = -1
-	for _, c := range cands {
+	for _, cand := range cands {
 		// A candidate must be alive, attribute-compatible, and reachable
 		// in the live overlay: a partition leaves stale availability-list
 		// entries pointing at the far side, and negotiating with a node
 		// no path reaches is impossible.
-		if c.ID != from && e.nodes[c.ID].Alive() && e.satisfies(c.ID, t.Require) &&
-			e.graph.Dist(from, c.ID) >= 0 {
-			target = c.ID
+		if cand.ID != from && e.nodes[cand.ID].Alive() && e.satisfies(cand.ID, t.Require) &&
+			e.dist(from, cand.ID) >= 0 {
+			target = cand.ID
 			break
 		}
 	}
 	if target < 0 {
 		if measured {
-			e.stats.Rejected++
+			e.statsPer[from].Rejected++
 		}
-		e.trace(trace.Event{At: now, Kind: trace.Reject, Node: from, Peer: -1, Size: t.Size, Info: "no-candidate"})
-		e.outcome(t, false)
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.Reject, Node: from, Peer: -1, Size: t.Size, Info: "no-candidate"})
+		e.outcomeCtx(c, t, false)
 		return
 	}
-	e.trace(trace.Event{At: now, Kind: trace.MigrateTry, Node: from, Peer: target, Size: t.Size})
+	e.traceCtx(c, trace.Event{At: now, Kind: trace.MigrateTry, Node: from, Peer: target, Size: t.Size})
 
 	// Admission negotiation between the two admission controls.
 	if measured {
-		e.stats.ControlMsgs++
-		e.stats.MessageUnits += e.cost.ControlUnits
+		e.statsPer[from].ControlMsgs++
+		e.statsPer[from].MessageUnits += e.cost.ControlUnits
 	}
 
-	dist := e.graph.Dist(from, target)
+	dist := e.dist(from, target)
 	if dist < 0 {
 		dist = e.graph.N() // can't happen (filter above); worst-case latency
 	}
@@ -589,21 +848,23 @@ func (e *Engine) tryMigrationN(now sim.Time, from topology.NodeID, t workload.Ta
 	// the second-hottest event class after deliveries, and the closure
 	// this used to allocate per try dominated the sweep's per-cell
 	// allocation count.
-	mg := e.freeMigrations
+	mg := c.freeMigrations
 	if mg == nil {
 		mg = &migration{e: e}
 	} else {
-		e.freeMigrations = mg.next
+		c.freeMigrations = mg.next
 	}
 	mg.from, mg.target, mg.task = from, target, t
 	mg.measured, mg.attempt = measured, attempt
 	mg.fromGen = e.gen[from]
 	mg.arrivedAt = now // bin by arrival time, not completion time
-	e.sched.AfterRunner(delay, mg)
+	e.schedule(c, target, now+delay, int32(from), e.nodeSeq[from], mg)
+	e.nodeSeq[from]++
 }
 
-// migration is a pooled sim.Runner carrying one in-flight migration try;
-// recycled through the engine's free list like delivery.
+// migration is a pooled sim.Runner carrying one in-flight migration
+// transfer, executing on the target's shard; recycled through the
+// executing shard's free list like delivery.
 type migration struct {
 	e         *Engine
 	from      topology.NodeID
@@ -617,14 +878,15 @@ type migration struct {
 }
 
 // Fire implements sim.Runner: complete the transfer at the destination
-// and report the outcome. The runner returns itself to the pool first —
-// a retry may recursively acquire a fresh one.
+// and send the verdict back to the origin. The runner returns itself to
+// the executing shard's pool first.
 func (mg *migration) Fire(arr sim.Time) {
 	e, from, target, t := mg.e, mg.from, mg.target, mg.task
 	measured, attempt, fromGen, arrivedAt := mg.measured, mg.attempt, mg.fromGen, mg.arrivedAt
+	c := e.ctxOf(target)
 	mg.task = workload.Task{}
-	mg.next = e.freeMigrations
-	e.freeMigrations = mg
+	mg.next = c.freeMigrations
+	c.freeMigrations = mg
 
 	// Re-check attributes at acceptance time: a security downgrade
 	// during the transfer voids the placement.
@@ -632,65 +894,119 @@ func (mg *migration) Fire(arr sim.Time) {
 		e.nodes[target].Accept(arr, t.Size)
 	if ok {
 		if measured {
-			e.stats.Admitted++
-			e.stats.Migrated++
+			e.statsPer[target].Admitted++
+			e.statsPer[target].Migrated++
 		}
-		if b := e.binFor(arrivedAt); b != nil {
+		if b := e.binFor(c, arrivedAt); b != nil {
 			b.Admitted++
 		}
-		e.trace(trace.Event{At: arr, Kind: trace.MigrateOK, Node: from, Peer: target, Size: t.Size})
-		e.afterAccept(arr, target)
+		e.traceCtx(c, trace.Event{At: arr, Kind: trace.MigrateOK, Node: from, Peer: target, Size: t.Size})
+		e.outcomeCtx(c, t, true)
+		e.afterAccept(c, arr, target)
 	} else {
 		if measured {
-			e.stats.MigrateFail++
+			e.statsPer[target].MigrateFail++
 		}
-		e.trace(trace.Event{At: arr, Kind: trace.MigrateFail, Node: from, Peer: target, Size: t.Size})
+		e.traceCtx(c, trace.Event{At: arr, Kind: trace.MigrateFail, Node: from, Peer: target, Size: t.Size})
 	}
-	// Tell the origin's protocol — unless the origin died meanwhile.
-	// A failed try evicts the stale candidate, so the retry below
-	// naturally walks to the next node in the list.
+
+	back := e.dist(target, from)
+	if back < 0 {
+		// The return path was severed while the task was in flight: the
+		// origin can never learn the verdict. An accepted task simply
+		// stays (its outcome is already reported); a failed one is
+		// finally rejected here — there is no one left to retry it.
+		if !ok {
+			if measured {
+				e.statsPer[target].Rejected++
+			}
+			e.traceCtx(c, trace.Event{At: arr, Kind: trace.Reject, Node: from, Peer: target,
+				Size: t.Size, Info: "origin-unreachable"})
+			e.outcomeCtx(c, t, false)
+		}
+		return
+	}
+	mr := c.freeResults
+	if mr == nil {
+		mr = &migResult{e: e}
+	} else {
+		c.freeResults = mr.next
+	}
+	mr.from, mr.target, mr.task = from, target, t
+	mr.measured, mr.attempt, mr.fromGen = measured, attempt, fromGen
+	mr.ok = ok
+	e.schedule(c, from, arr+e.cfg.HopDelay*sim.Time(back), int32(target), e.nodeSeq[target], mr)
+	e.nodeSeq[target]++
+}
+
+// migResult is the second migration leg: the verdict arriving back at
+// the origin, executing on the origin's shard.
+type migResult struct {
+	e        *Engine
+	from     topology.NodeID
+	target   topology.NodeID
+	task     workload.Task
+	measured bool
+	attempt  int
+	fromGen  int
+	ok       bool
+	next     *migResult // free-list link
+}
+
+// Fire implements sim.Runner: tell the origin's protocol the verdict —
+// unless the origin died meanwhile — and on failure walk to the next
+// candidate or finally reject. A failed try evicts the stale candidate,
+// so the retry naturally walks down the list.
+func (mr *migResult) Fire(at sim.Time) {
+	e, from, target, t := mr.e, mr.from, mr.target, mr.task
+	measured, attempt, fromGen, ok := mr.measured, mr.attempt, mr.fromGen, mr.ok
+	c := e.ctxOf(from)
+	mr.task = workload.Task{}
+	mr.next = c.freeResults
+	c.freeResults = mr
+
 	originUp := e.gen[from] == fromGen && e.nodes[from].Alive()
 	if originUp {
 		e.disco[from].OnMigrationOutcome(target, t.Size, ok)
 	}
 	if ok {
-		e.outcome(t, true)
-		return
+		return // outcome reported when the target accepted
 	}
 	maxTries := e.cfg.MaxTries
 	if maxTries <= 0 {
 		maxTries = 1
 	}
 	if originUp && attempt < maxTries {
-		e.tryMigrationN(arr, from, t, measured, attempt+1)
+		e.tryMigrationN(c, at, from, t, measured, attempt+1)
 		return
 	}
 	if measured {
-		e.stats.Rejected++
+		e.statsPer[from].Rejected++
 	}
-	e.trace(trace.Event{At: arr, Kind: trace.Reject, Node: from, Peer: -1,
+	e.traceCtx(c, trace.Event{At: at, Kind: trace.Reject, Node: from, Peer: -1,
 		Size: t.Size, Info: "tries-exhausted"})
-	e.outcome(t, false)
+	e.outcomeCtx(c, t, false)
 }
 
 func (e *Engine) randomAlive() (topology.NodeID, bool) {
 	alive := make([]topology.NodeID, 0, len(e.nodes))
-	for i, n := range e.nodes {
-		if n.Alive() {
+	for i := range e.nodes {
+		if e.nodes[i].Alive() {
 			alive = append(alive, topology.NodeID(i))
 		}
 	}
 	if len(alive) == 0 {
 		return 0, false
 	}
-	return alive[e.rnd.Intn(len(alive))], true
+	return alive[e.rerouteRnd.Intn(len(alive))], true
 }
 
 // afterAccept re-evaluates the node's threshold state after new work was
 // queued: an upward crossing fires OnUsageCrossing(true) immediately and
 // schedules the matching downward crossing at the (deterministic) time
-// the queue drains back to the threshold.
-func (e *Engine) afterAccept(now sim.Time, id topology.NodeID) {
+// the queue drains back to the threshold. c is the emission context —
+// nil when called from a global event (Inject at a barrier).
+func (e *Engine) afterAccept(c *shardCtx, now sim.Time, id topology.NodeID) {
 	thr := e.cfg.Threshold * e.nodes[id].Capacity()
 	backlog := e.nodes[id].Backlog(now)
 	if backlog <= thr {
@@ -698,7 +1014,7 @@ func (e *Engine) afterAccept(now sim.Time, id topology.NodeID) {
 	}
 	if !e.above[id] {
 		e.above[id] = true
-		e.trace(trace.Event{At: now, Kind: trace.CrossUp, Node: id, Peer: -1})
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.CrossUp, Node: id, Peer: -1})
 		e.disco[id].OnUsageCrossing(true)
 	}
 	// (Re)schedule the downward crossing; any previously scheduled one is
@@ -706,10 +1022,14 @@ func (e *Engine) afterAccept(now sim.Time, id topology.NodeID) {
 	// no-op on fired or zero handles, so no liveness check is needed.
 	// Each node has exactly one pending downward crossing at a time, so a
 	// single persistent runner per node replaces the per-accept closure.
-	e.sched.Cancel(e.crossEvs[id])
-	c := &e.crossings[id]
-	c.gen = e.gen[id]
-	e.crossEvs[id] = e.sched.AfterRunner(sim.Time(backlog-thr), c)
+	// The crossing always lives on id's own shard — the one executing
+	// this accept — so the handle stays locally cancellable.
+	dc := e.ctxs[e.shardOf[id]]
+	dc.sched.Cancel(e.crossEvs[id])
+	cr := &e.crossings[id]
+	cr.gen = e.gen[id]
+	e.crossEvs[id] = dc.sched.AtKeyed(now+sim.Time(backlog-thr), int32(id), e.nodeSeq[id], cr)
+	e.nodeSeq[id]++
 }
 
 // crossing is the per-node downward-crossing runner: it fires when the
@@ -723,12 +1043,13 @@ type crossing struct {
 // Fire implements sim.Runner.
 func (c *crossing) Fire(at sim.Time) {
 	e, id := c.e, c.id
+	ctx := e.ctxOf(id)
 	e.crossEvs[id] = sim.Event{}
 	if e.gen[id] != c.gen || !e.nodes[id].Alive() || !e.above[id] {
 		return
 	}
 	e.above[id] = false
-	e.trace(trace.Event{At: at, Kind: trace.CrossDown, Node: id, Peer: -1})
+	e.traceCtx(ctx, trace.Event{At: at, Kind: trace.CrossDown, Node: id, Peer: -1})
 	e.disco[id].OnUsageCrossing(false)
 }
 
@@ -739,9 +1060,10 @@ func (c *crossing) Fire(at sim.Time) {
 // the engine's back would leave the crossing state stale, and the
 // protocol would keep pledging headroom the node no longer has (the
 // invariant oracle's I2 check catches exactly that). Returns the amount
-// actually injected (0 when the node is dead or full).
+// actually injected (0 when the node is dead or full). Like Kill, it
+// must run from a global event in a sharded engine.
 func (e *Engine) Inject(now sim.Time, id topology.NodeID, size float64) float64 {
-	n := e.nodes[id]
+	n := &e.nodes[id]
 	if !n.Alive() || size <= 0 {
 		return 0
 	}
@@ -754,33 +1076,37 @@ func (e *Engine) Inject(now sim.Time, id topology.NodeID, size float64) float64 
 	if e.cfg.Observer != nil {
 		e.cfg.Observer.OnInject(now, id, size)
 	}
-	e.afterAccept(now, id)
+	e.afterAccept(nil, now, id)
 	return size
 }
 
 // Kill takes a node down: its queue is discarded, its protocol state is
 // dropped, pending timers are disarmed, and it stops receiving messages.
+// In a sharded engine Kill must run from a global (external) event —
+// alive state is read cross-shard mid-phase and may only change at a
+// barrier, which is exactly when global events fire.
 func (e *Engine) Kill(id topology.NodeID) {
 	if !e.nodes[id].Alive() {
 		return
 	}
 	e.nodes[id].Kill(e.sched.Now())
-	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.NodeKill, Node: id, Peer: -1})
+	e.traceCtx(nil, trace.Event{At: e.sched.Now(), Kind: trace.NodeKill, Node: id, Peer: -1})
 	e.disco[id].OnNodeDeath()
 	e.gen[id]++
 	e.above[id] = false
-	e.sched.Cancel(e.crossEvs[id])
+	e.ctxOf(id).sched.Cancel(e.crossEvs[id])
 	e.crossEvs[id] = sim.Event{}
 }
 
 // Revive brings a node back with an empty queue and a brand-new protocol
 // instance (the protocols are stateless across restarts by design).
+// Same global-event discipline as Kill.
 func (e *Engine) Revive(id topology.NodeID) {
 	if e.nodes[id].Alive() {
 		return
 	}
 	e.nodes[id].Revive(e.sched.Now())
-	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.NodeRevive, Node: id, Peer: -1})
+	e.traceCtx(nil, trace.Event{At: e.sched.Now(), Kind: trace.NodeRevive, Node: id, Peer: -1})
 	e.gen[id]++
 	e.disco[id] = e.build()
 	e.disco[id].Attach(e.envs[id])
@@ -803,33 +1129,41 @@ func (e *Engine) mutableGraph() *topology.Graph {
 }
 
 // CutLink severs an overlay link mid-run — the link-level analogue of
-// Kill. From this instant, floods and unicasts reroute over the
-// surviving links (longer per-hop latency) and deliveries to nodes left
-// unreachable are dropped and counted as partition drops. Idempotent;
-// reports whether the link existed.
+// Kill (and under the same global-event discipline in sharded runs).
+// From this instant, floods and unicasts reroute over the surviving
+// links (longer per-hop latency) and deliveries to nodes left
+// unreachable are dropped and counted as partition drops. Cutting links
+// only grows distances, so the conservative lookahead stays valid.
+// Idempotent; reports whether the link existed.
 func (e *Engine) CutLink(a, b topology.NodeID) bool {
 	if !e.mutableGraph().CutLink(a, b) {
 		return false
 	}
-	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.LinkCut, Node: a, Peer: b})
+	e.traceCtx(nil, trace.Event{At: e.sched.Now(), Kind: trace.LinkCut, Node: a, Peer: b})
 	return true
 }
 
 // RestoreLink heals an overlay link mid-run — the link-level analogue of
-// Revive. Idempotent; reports whether the link was absent.
+// Revive (global-event discipline in sharded runs). A restored link can
+// shrink cross-shard distances, so the lookahead drops to its floor of
+// one hop for the rest of the run. Idempotent; reports whether the link
+// was absent.
 func (e *Engine) RestoreLink(a, b topology.NodeID) bool {
 	if !e.mutableGraph().RestoreLink(a, b) {
 		return false
 	}
-	e.trace(trace.Event{At: e.sched.Now(), Kind: trace.LinkRestore, Node: a, Peer: b})
+	if e.shards > 1 {
+		e.delta = e.cfg.HopDelay
+	}
+	e.traceCtx(nil, trace.Event{At: e.sched.Now(), Kind: trace.LinkRestore, Node: a, Peer: b})
 	return true
 }
 
 // AliveCount returns how many nodes are currently up.
 func (e *Engine) AliveCount() int {
 	n := 0
-	for _, nd := range e.nodes {
-		if nd.Alive() {
+	for i := range e.nodes {
+		if e.nodes[i].Alive() {
 			n++
 		}
 	}
@@ -840,12 +1174,13 @@ func (e *Engine) AliveCount() int {
 type nodeEnv struct {
 	engine *Engine
 	id     topology.NodeID
+	ctx    *shardCtx
 }
 
 var _ protocol.Env = (*nodeEnv)(nil)
 
 func (v *nodeEnv) Self() topology.NodeID { return v.id }
-func (v *nodeEnv) Now() sim.Time         { return v.engine.sched.Now() }
+func (v *nodeEnv) Now() sim.Time         { return v.ctx.sched.Now() }
 
 func (v *nodeEnv) Usage() float64 {
 	return v.engine.nodes[v.id].Usage(v.Now())
@@ -863,27 +1198,35 @@ func (v *nodeEnv) Capacity() float64 {
 // charges the paper's flood cost (#links) once.
 func (v *nodeEnv) Flood(m protocol.Message) {
 	e := v.engine
-	now := e.sched.Now()
+	now := v.ctx.sched.Now()
 	units := e.cost.FloodUnits
 	if e.scope != nil {
 		units = e.scopeCost[v.id]
 	}
 	if e.measuring(now) {
-		e.stats.MessageUnits += units
+		st := &e.statsPer[v.id]
+		st.MessageUnits += units
 		switch m.Kind {
 		case protocol.Help:
-			e.stats.HelpMsgs++
+			st.HelpMsgs++
 		case protocol.Advert:
-			e.stats.AdvertMsgs++
+			st.AdvertMsgs++
 		case protocol.Pledge:
-			e.stats.PledgeMsgs++
+			st.PledgeMsgs++
 		}
 	}
-	e.trace(trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: -1,
+	e.traceCtx(v.ctx, trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: -1,
 		Info: "flood-" + m.Kind.String()})
 	if e.scope != nil {
-		for _, to := range e.scope[v.id] {
-			v.deliverLater(to, m)
+		useDist := e.scopeDist != nil && !e.ownsGraph
+		for k, to := range e.scope[v.id] {
+			// The scope BFS already measured these distances; reuse them
+			// (stamp-reuse) unless link churn invalidated the tables.
+			d := distUnknown
+			if useDist {
+				d = int(e.scopeDist[v.id][k])
+			}
+			v.deliverLater(to, m, d)
 		}
 		return
 	}
@@ -892,71 +1235,74 @@ func (v *nodeEnv) Flood(m protocol.Message) {
 		if to == v.id {
 			continue
 		}
-		v.deliverLater(to, m)
+		v.deliverLater(to, m, distUnknown)
 	}
 }
 
 // Unicast delivers m to one node and charges the mean-shortest-path cost.
 func (v *nodeEnv) Unicast(to topology.NodeID, m protocol.Message) {
 	e := v.engine
-	now := e.sched.Now()
+	now := v.ctx.sched.Now()
 	if e.measuring(now) {
-		e.stats.MessageUnits += e.cost.UnicastUnits
+		st := &e.statsPer[v.id]
+		st.MessageUnits += e.cost.UnicastUnits
 		switch m.Kind {
 		case protocol.Pledge:
-			e.stats.PledgeMsgs++
+			st.PledgeMsgs++
 		case protocol.Help, protocol.Relay:
-			e.stats.HelpMsgs++
+			st.HelpMsgs++
 		case protocol.Advert:
-			e.stats.AdvertMsgs++
+			st.AdvertMsgs++
 		}
 	}
-	e.trace(trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: to,
+	e.traceCtx(v.ctx, trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: to,
 		Info: m.Kind.String()})
-	v.deliverLater(to, m)
+	v.deliverLater(to, m, distUnknown)
 }
 
-func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message) {
-	e := v.engine
-	dist := e.graph.Dist(v.id, to)
+// deliverLater schedules one message delivery. dist is the hop distance
+// when the caller already knows it (scoped floods), distUnknown
+// otherwise.
+func (v *nodeEnv) deliverLater(to topology.NodeID, m protocol.Message, dist int) {
+	e, c := v.engine, v.ctx
+	now := c.sched.Now()
+	if dist == distUnknown {
+		dist = e.dist(v.id, to)
+	}
 	if dist < 0 {
 		// Unreachable in the live overlay (link cut / partition): the
 		// message is lost. Counted separately from probabilistic loss so
 		// partition studies can report it.
-		if e.measuring(e.sched.Now()) {
-			e.stats.PartitionDrops++
+		if e.measuring(now) {
+			e.statsPer[v.id].PartitionDrops++
 		}
-		e.trace(trace.Event{At: e.sched.Now(), Kind: trace.MsgDrop, Node: v.id, Peer: to,
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.MsgDrop, Node: v.id, Peer: to,
 			Info: trace.DropPartition})
-		if e.cfg.Observer != nil {
-			e.cfg.Observer.OnDrop(e.sched.Now(), v.id, to, m, trace.DropPartition)
-		}
+		e.obsDrop(c, now, v.id, to, m, trace.DropPartition)
 		return
 	}
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.OnSend(e.sched.Now(), v.id, to, m)
-	}
-	if e.cfg.LossProb > 0 && e.rnd.Bernoulli(e.cfg.LossProb) {
+	e.obsSend(c, now, v.id, to, m)
+	if e.cfg.LossProb > 0 && e.lossRnd[v.id].Bernoulli(e.cfg.LossProb) {
 		// Datagram lost in transit. The observer is told — conservation
 		// checks must see that a scheduled send was eaten, not delivered.
-		if e.cfg.Observer != nil {
-			e.cfg.Observer.OnDrop(e.sched.Now(), v.id, to, m, trace.DropLoss)
-		}
+		e.obsDrop(c, now, v.id, to, m, trace.DropLoss)
 		return
 	}
-	d := e.freeDeliveries
+	d := c.freeDeliveries
 	if d == nil {
 		d = &delivery{e: e}
 	} else {
-		e.freeDeliveries = d.next
+		c.freeDeliveries = d.next
 	}
 	d.from, d.to, d.gen, d.m = v.id, to, e.gen[to], m
-	e.sched.AfterRunner(e.cfg.HopDelay*sim.Time(dist), d)
+	e.schedule(c, to, now+e.cfg.HopDelay*sim.Time(dist), int32(v.id), e.nodeSeq[v.id], d)
+	e.nodeSeq[v.id]++
 }
 
-// delivery is a pooled sim.Runner carrying one in-flight message; the
-// engine recycles them through a free list, so steady-state message
-// traffic schedules with zero allocations.
+// delivery is a pooled sim.Runner carrying one in-flight message,
+// executing on the destination's shard; recycled through the executing
+// shard's free list, so steady-state message traffic schedules with
+// zero allocations.
 type delivery struct {
 	e    *Engine
 	from topology.NodeID // sender, reported on in-flight-death drops
@@ -967,30 +1313,31 @@ type delivery struct {
 }
 
 // Fire implements sim.Runner: deliver (unless the destination restarted
-// or died in flight) and return self to the engine's pool.
+// or died in flight) and return self to the executing shard's pool.
 func (d *delivery) Fire(at sim.Time) {
 	e, from, to, gen, m := d.e, d.from, d.to, d.gen, d.m
+	c := e.ctxOf(to)
 	d.m = protocol.Message{} // drop any View slice reference
-	d.next = e.freeDeliveries
-	e.freeDeliveries = d
+	d.next = c.freeDeliveries
+	c.freeDeliveries = d
 	if e.gen[to] == gen && e.nodes[to].Alive() {
-		if e.cfg.Observer != nil {
-			e.cfg.Observer.OnDeliver(at, to, m)
-		}
+		e.obsDeliver(c, at, to, m)
 		e.disco[to].Deliver(m)
-	} else if e.cfg.Observer != nil {
+	} else {
 		// Destination died or restarted in flight: the send the observer
 		// saw resolves as a drop, never silently vanishes.
-		e.cfg.Observer.OnDrop(at, from, to, m, trace.DropDead)
+		e.obsDrop(c, at, from, to, m, trace.DropDead)
 	}
 }
 
 // After implements protocol.Env timers scoped to the node's current
-// incarnation: callbacks are suppressed after Kill.
+// incarnation: callbacks are suppressed after Kill. Timers always live
+// on the owning node's shard.
 func (v *nodeEnv) After(d sim.Time, fn func()) protocol.Timer {
-	e := v.engine
-	t := &simTimer{e: e, id: v.id, gen: e.gen[v.id], fn: fn}
-	t.ev = e.sched.AfterRunner(d, t)
+	e, c := v.engine, v.ctx
+	t := &simTimer{e: e, c: c, id: v.id, gen: e.gen[v.id], fn: fn}
+	t.ev = c.sched.AtKeyed(c.sched.Now()+d, int32(v.id), e.nodeSeq[v.id], t)
+	e.nodeSeq[v.id]++
 	return t
 }
 
@@ -1002,6 +1349,7 @@ func (v *nodeEnv) After(d sim.Time, fn func()) protocol.Timer {
 // not a reused simTimer's own ev field).
 type simTimer struct {
 	e   *Engine
+	c   *shardCtx
 	id  topology.NodeID
 	gen int
 	fn  func()
@@ -1015,21 +1363,23 @@ func (t *simTimer) Fire(sim.Time) {
 	}
 }
 
-func (t *simTimer) Stop() { t.e.sched.Cancel(t.ev) }
+func (t *simTimer) Stop() { t.c.sched.Cancel(t.ev) }
 
 // Reset implements protocol.ResettableTimer: re-arm this timer d seconds
 // from now with its original callback, reusing the allocation. It
-// performs the same scheduler operations (one Cancel, one schedule) as
-// the Stop+After sequence it replaces, so event sequence numbers — and
-// with them deterministic replay — are unchanged. It reports false when
-// the timer belongs to a dead node incarnation; the caller then falls
-// back to Env.After.
+// performs the same scheduler operations (one Cancel, one keyed
+// schedule consuming one sequence number) as the Stop+After sequence it
+// replaces, so canonical event keys — and with them deterministic
+// replay — are unchanged. It reports false when the timer belongs to a
+// dead node incarnation; the caller then falls back to Env.After.
 func (t *simTimer) Reset(d sim.Time) bool {
-	if t.e.gen[t.id] != t.gen || !t.e.nodes[t.id].Alive() {
+	e := t.e
+	if e.gen[t.id] != t.gen || !e.nodes[t.id].Alive() {
 		return false
 	}
-	t.e.sched.Cancel(t.ev)
-	t.ev = t.e.sched.AfterRunner(d, t)
+	t.c.sched.Cancel(t.ev)
+	t.ev = t.c.sched.AtKeyed(t.c.sched.Now()+d, int32(t.id), e.nodeSeq[t.id], t)
+	e.nodeSeq[t.id]++
 	return true
 }
 

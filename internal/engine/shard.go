@@ -1,0 +1,462 @@
+// Conservative-parallel execution: the mesh is split into contiguous
+// node-ID bands ("shards"), each with its own event queue and worker.
+// A coordinator alternates phases — every shard fires the events whose
+// canonical key lies strictly below a shared horizon — with barriers
+// that exchange cross-shard messages and replay buffered observations
+// in canonical order. The horizon is the conservative lookahead bound:
+// no cross-shard message can be delivered sooner than
+// HopDelay × MinCrossShardDist after it was sent, so events below
+// min-pending + Δ cannot be influenced by any event another shard has
+// yet to fire. Because every event carries a creator-assigned canonical
+// key (see sim.EventKey), the set and order of events each shard fires
+// is a pure function of the scenario — never of worker interleaving —
+// which is what makes results byte-identical at any shard count.
+// DESIGN.md §10 gives the full argument.
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/trace"
+	"realtor/internal/workload"
+)
+
+// shardCtx is the per-shard execution context: the shard's scheduler,
+// its outbound cross-shard mail, its ordered-emission buffers, its slice
+// of the admission timeline, and its runner pools. During a phase it is
+// touched only by its own worker; between phases only by the
+// coordinator — so nothing in it needs a lock.
+type shardCtx struct {
+	e     *Engine
+	idx   int32
+	sched *sim.Scheduler
+
+	bins []Bin // this shard's slice of the admission timeline
+
+	// mail holds events created this phase for other shards; the
+	// coordinator moves them onto the destination queues at the barrier.
+	// Heap order depends only on the canonical key, so the flush order
+	// across shards is irrelevant.
+	mail []mailEntry
+
+	// emits/outcomes buffer observation callbacks for canonical-order
+	// replay at the barrier (unused when the engine emits inline).
+	emits    []emitRec
+	outcomes []outcomeRec
+	emitIdx  uint64
+
+	// runner pools: acquired by events executing in this shard,
+	// released into the pool of whichever shard the runner fires in.
+	freeDeliveries *delivery
+	freeMigrations *migration
+	freeResults    *migResult
+	freeArrivals   *arrivalEv
+
+	active bool
+	in     chan sim.EventKey
+	done   chan struct{}
+}
+
+// mailEntry is one cross-shard event hand-off: the destination shard,
+// the firing time, the creator-assigned canonical key, and the runner.
+type mailEntry struct {
+	dest int32
+	when sim.Time
+	src  int32
+	seq  uint64
+	r    sim.Runner
+}
+
+// emitRec is one buffered observation callback, stamped with the
+// canonical key of the event that emitted it and a per-shard monotone
+// index for ordering multiple emissions of one event.
+type emitRec struct {
+	key    sim.EventKey
+	idx    uint64
+	kind   uint8
+	ev     trace.Event // emitTrace
+	at     sim.Time    // observer kinds
+	node   topology.NodeID
+	peer   topology.NodeID
+	m      protocol.Message
+	reason string // emitDropObs
+}
+
+const (
+	emitTrace uint8 = iota
+	emitSendObs
+	emitDeliverObs
+	emitDropObs
+)
+
+// outcomeRec is one buffered OnOutcome call, ordered like emitRec.
+type outcomeRec struct {
+	key      sim.EventKey
+	idx      uint64
+	task     workload.Task
+	admitted bool
+}
+
+// ctxOf returns the execution context owning node id.
+func (e *Engine) ctxOf(id topology.NodeID) *shardCtx { return e.ctxs[e.shardOf[id]] }
+
+// schedule places a keyed event onto the shard owning dest: directly
+// when that is the executing shard (or the engine is unsharded), through
+// the phase mailbox otherwise. Cross-shard events return the zero handle
+// — they cannot be cancelled, and no caller needs to (deliveries and
+// migrations are fire-and-forget; timers and crossings never cross).
+func (e *Engine) schedule(c *shardCtx, dest topology.NodeID, when sim.Time,
+	src int32, seq uint64, r sim.Runner) sim.Event {
+	dc := e.ctxs[e.shardOf[dest]]
+	if dc == c {
+		return c.sched.AtKeyed(when, src, seq, r)
+	}
+	c.mail = append(c.mail, mailEntry{dest: dc.idx, when: when, src: src, seq: seq, r: r})
+	return sim.Event{}
+}
+
+// traceCtx records a trace event: synchronously when the engine emits
+// inline (single shard, or cfg.InlineHooks with a concurrency-safe
+// consumer), otherwise buffered under the executing event's canonical
+// key for ordered replay at the barrier. A nil ctx marks a global-event
+// context (coordinator at a barrier, workers idle): emission is direct,
+// and in canonical position, because buffers are flushed before any
+// global event fires.
+func (e *Engine) traceCtx(c *shardCtx, ev trace.Event) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	if c == nil || e.inGlobal || e.inline {
+		e.cfg.Trace.Record(ev)
+		return
+	}
+	c.emits = append(c.emits, emitRec{key: c.sched.LastFiredKey(), idx: c.emitIdx, kind: emitTrace, ev: ev})
+	c.emitIdx++
+}
+
+func (e *Engine) obsSend(c *shardCtx, at sim.Time, from, to topology.NodeID, m protocol.Message) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	if c == nil || e.inGlobal || e.inline {
+		e.cfg.Observer.OnSend(at, from, to, m)
+		return
+	}
+	c.emits = append(c.emits, emitRec{key: c.sched.LastFiredKey(), idx: c.emitIdx,
+		kind: emitSendObs, at: at, node: from, peer: to, m: m})
+	c.emitIdx++
+}
+
+func (e *Engine) obsDeliver(c *shardCtx, at sim.Time, to topology.NodeID, m protocol.Message) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	if c == nil || e.inGlobal || e.inline {
+		e.cfg.Observer.OnDeliver(at, to, m)
+		return
+	}
+	c.emits = append(c.emits, emitRec{key: c.sched.LastFiredKey(), idx: c.emitIdx,
+		kind: emitDeliverObs, at: at, node: to, m: m})
+	c.emitIdx++
+}
+
+func (e *Engine) obsDrop(c *shardCtx, at sim.Time, from, to topology.NodeID, m protocol.Message, reason string) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	if c == nil || e.inGlobal || e.inline {
+		e.cfg.Observer.OnDrop(at, from, to, m, reason)
+		return
+	}
+	c.emits = append(c.emits, emitRec{key: c.sched.LastFiredKey(), idx: c.emitIdx,
+		kind: emitDropObs, at: at, node: from, peer: to, m: m, reason: reason})
+	c.emitIdx++
+}
+
+// outcomeCtx reports a task's final fate. Sharded runs always buffer —
+// OnOutcome closures (experiment bucketing) are neither locked nor
+// order-tolerant — and replay in canonical order at the barrier.
+func (e *Engine) outcomeCtx(c *shardCtx, t workload.Task, admitted bool) {
+	if e.cfg.OnOutcome == nil {
+		return
+	}
+	if c == nil || e.inGlobal || e.shards == 1 {
+		e.cfg.OnOutcome(t, admitted)
+		return
+	}
+	c.outcomes = append(c.outcomes, outcomeRec{key: c.sched.LastFiredKey(), idx: c.emitIdx,
+		task: t, admitted: admitted})
+	c.emitIdx++
+}
+
+// runSharded is Engine.Run's parallel body: drive arrivals to Duration,
+// then settle, both under the phase coordinator.
+func (e *Engine) runSharded(src workload.Source) {
+	e.startWorkers()
+	defer e.stopWorkers()
+	e.pullSrc = src
+	e.pull, e.pullOK = src.Next()
+	e.coordinate(e.cfg.Duration)
+	// settleEnd reads the live graph, so compute it — like the
+	// single-shard path — only after the measurement window closed.
+	e.coordinate(e.settleEnd())
+}
+
+func (e *Engine) startWorkers() {
+	for _, c := range e.ctxs {
+		c.in = make(chan sim.EventKey, 1)
+		c.done = make(chan struct{}, 1)
+		go func(c *shardCtx) {
+			for bound := range c.in {
+				c.sched.RunBelow(bound)
+				c.done <- struct{}{}
+			}
+		}(c)
+	}
+}
+
+func (e *Engine) stopWorkers() {
+	for _, c := range e.ctxs {
+		close(c.in)
+	}
+}
+
+// coordinate runs the conservative phase loop until every queue and the
+// arrival stream are exhausted up to `until`, leaving all clocks at
+// exactly `until` (mirroring Scheduler.RunUntil, which fires events with
+// timestamps ≤ end).
+func (e *Engine) coordinate(until sim.Time) {
+	// endKey admits every real event at `until` (real namespaces are all
+	// < MaxInt32), exactly like RunUntil's inclusive boundary.
+	endKey := sim.EventKey{When: until, Src: math.MaxInt32, Seq: math.MaxUint64}
+	for {
+		// Earliest pending work anywhere: shard queues, the global
+		// (external-event) queue, and the not-yet-pulled arrival stream.
+		var tmin sim.Time
+		have := false
+		for _, c := range e.ctxs {
+			if k, ok := c.sched.MinKey(); ok && (!have || k.When < tmin) {
+				tmin, have = k.When, true
+			}
+		}
+		gk, gok := e.sched.MinKey()
+		if gok && (!have || gk.When < tmin) {
+			tmin, have = gk.When, true
+		}
+		if e.pullOK && e.pull.Arrive < e.cfg.Duration && (!have || e.pull.Arrive < tmin) {
+			tmin, have = e.pull.Arrive, true
+		}
+		if !have || tmin > until {
+			e.advanceAll(until)
+			return
+		}
+
+		// The phase horizon: min-pending + lookahead, capped by the next
+		// global event (which may mutate shared state — kills, link cuts —
+		// and therefore runs alone at a barrier) and by the window end.
+		bound := sim.EventKey{When: tmin + e.delta, Src: math.MinInt32}
+		if gok && gk.Less(bound) {
+			bound = gk
+		}
+		if endKey.Less(bound) {
+			bound = endKey
+		}
+		globalNext := gok && gk == bound
+
+		e.pullArrivals(bound)
+
+		if e.anyShardBelow(bound) {
+			e.runPhase(bound)
+			e.advanceAll(sim.Time(math.Min(float64(bound.When), float64(until))))
+			e.flushMail()
+			e.flushBuffers()
+			continue
+		}
+		if globalNext {
+			// Exactly one global event per barrier: its handler may touch
+			// any shard's state, so all clocks sync to its instant first.
+			// Hooks it triggers emit directly (inGlobal), and any node
+			// activity it causes — an Inject's threshold flood, say —
+			// routes cross-shard events through the home shard's mailbox,
+			// which must drain before the next phase advances clocks past
+			// the entries.
+			e.advanceAll(gk.When)
+			e.inGlobal = true
+			e.sched.Step()
+			e.inGlobal = false
+			e.flushMail()
+			continue
+		}
+		// No event below the horizon anywhere (only reachable through
+		// float edge cases): let the clocks catch up and retry.
+		e.advanceAll(sim.Time(math.Min(float64(bound.When), float64(until))))
+	}
+}
+
+// pullArrivals moves workload arrivals whose canonical key lies below
+// the phase bound onto their shard queues, resolving dead-node rerouting
+// now — between phases the alive set is stable (kills and revives are
+// global events, which bound every phase), so the reroute draw sees
+// exactly the state the single-shard kernel would at fire time, in the
+// same arrival order.
+func (e *Engine) pullArrivals(bound sim.EventKey) {
+	for e.pullOK && e.pull.Arrive < e.cfg.Duration {
+		key := sim.EventKey{When: e.pull.Arrive, Src: srcArrival, Seq: e.arrSeq}
+		if !key.Less(bound) {
+			return
+		}
+		t := e.pull
+		e.pull, e.pullOK = e.pullSrc.Next()
+		exec, mode := e.resolveArrival(t)
+		c := e.ctxOf(exec)
+		a := c.freeArrivals
+		if a == nil {
+			a = &arrivalEv{e: e}
+		} else {
+			c.freeArrivals = a.next
+		}
+		a.task, a.exec, a.mode = t, exec, mode
+		c.sched.AtKeyed(t.Arrive, srcArrival, e.arrSeq, a)
+		e.arrSeq++
+	}
+}
+
+func (e *Engine) anyShardBelow(bound sim.EventKey) bool {
+	for _, c := range e.ctxs {
+		if k, ok := c.sched.MinKey(); ok && k.Less(bound) {
+			return true
+		}
+	}
+	return false
+}
+
+// runPhase fires every shard event below bound. A phase with one active
+// shard runs inline on the coordinator — waking a worker for it would
+// cost more than the work.
+func (e *Engine) runPhase(bound sim.EventKey) {
+	active := 0
+	var solo *shardCtx
+	for _, c := range e.ctxs {
+		k, ok := c.sched.MinKey()
+		c.active = ok && k.Less(bound)
+		if c.active {
+			active++
+			solo = c
+		}
+	}
+	if active == 1 {
+		solo.sched.RunBelow(bound)
+		return
+	}
+	for _, c := range e.ctxs {
+		if c.active {
+			c.in <- bound
+		}
+	}
+	for _, c := range e.ctxs {
+		if c.active {
+			<-c.done
+		}
+	}
+}
+
+// advanceAll moves every clock — shard and global — to t. Safe by the
+// phase invariant: no queue holds an event strictly earlier than t.
+func (e *Engine) advanceAll(t sim.Time) {
+	e.sched.AdvanceTo(t)
+	for _, c := range e.ctxs {
+		c.sched.AdvanceTo(t)
+	}
+}
+
+// flushMail moves this phase's cross-shard events onto their destination
+// queues. Every entry's canonical key was assigned by its creator, so
+// heap order — and with it execution order — is independent of the
+// flush sequence.
+func (e *Engine) flushMail() {
+	for _, c := range e.ctxs {
+		for i := range c.mail {
+			m := &c.mail[i]
+			e.ctxs[m.dest].sched.AtKeyed(m.when, m.src, m.seq, m.r)
+			m.r = nil
+		}
+		c.mail = c.mail[:0]
+	}
+}
+
+// flushBuffers replays buffered observations and outcomes in canonical
+// (emitting-event key, emission index) order — the exact sequence the
+// single-shard kernel would have produced inline.
+func (e *Engine) flushBuffers() {
+	if !e.inline {
+		s := e.emitScratch[:0]
+		for _, c := range e.ctxs {
+			s = append(s, c.emits...)
+			c.emits = c.emits[:0]
+		}
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].key != s[j].key {
+				return s[i].key.Less(s[j].key)
+			}
+			return s[i].idx < s[j].idx
+		})
+		for i := range s {
+			r := &s[i]
+			switch r.kind {
+			case emitTrace:
+				e.cfg.Trace.Record(r.ev)
+			case emitSendObs:
+				e.cfg.Observer.OnSend(r.at, r.node, r.peer, r.m)
+			case emitDeliverObs:
+				e.cfg.Observer.OnDeliver(r.at, r.node, r.m)
+			case emitDropObs:
+				e.cfg.Observer.OnDrop(r.at, r.node, r.peer, r.m, r.reason)
+			}
+			*r = emitRec{} // drop Message view references
+		}
+		e.emitScratch = s[:0]
+	}
+	o := e.outScratch[:0]
+	for _, c := range e.ctxs {
+		o = append(o, c.outcomes...)
+		c.outcomes = c.outcomes[:0]
+	}
+	if len(o) > 0 {
+		sort.Slice(o, func(i, j int) bool {
+			if o[i].key != o[j].key {
+				return o[i].key.Less(o[j].key)
+			}
+			return o[i].idx < o[j].idx
+		})
+		for i := range o {
+			e.cfg.OnOutcome(o[i].task, o[i].admitted)
+			o[i] = outcomeRec{}
+		}
+	}
+	e.outScratch = o[:0]
+}
+
+// arrivalEv is a pooled runner carrying one pre-pulled, pre-resolved
+// workload arrival (sharded runs only; the single-shard kernel keeps the
+// one reusable pull-as-you-go arrival runner).
+type arrivalEv struct {
+	e    *Engine
+	task workload.Task
+	exec topology.NodeID // node the event executes on (t.Node for rejects)
+	mode uint8
+	next *arrivalEv
+}
+
+// Fire implements sim.Runner.
+func (a *arrivalEv) Fire(now sim.Time) {
+	e, t, exec, mode := a.e, a.task, a.exec, a.mode
+	c := e.ctxOf(exec)
+	a.task = workload.Task{}
+	a.next = c.freeArrivals
+	c.freeArrivals = a
+	e.handleArrival(c, now, t, exec, mode)
+}

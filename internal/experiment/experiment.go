@@ -321,15 +321,20 @@ type ScaleLargeStudy struct {
 	Radius        int     // flood scope, hops
 	Warmup        sim.Time
 	Duration      sim.Time
+	// Shards selects the event kernel: 0 or 1 runs the classic
+	// single-threaded scheduler, > 1 the conservative-parallel one.
+	// Results are byte-identical either way (DESIGN.md §10), so this
+	// only trades wall-clock time.
+	Shards int
 }
 
 // DefaultScaleLarge returns the study configuration behind
-// results/scale_large.txt: sides 10..50 (100 → 2500 nodes), the same
+// results/scale_large.txt: sides 10..100 (100 → 10 000 nodes), the same
 // per-node load and 2-hop scope as the committed A2(b) study, and a
 // shorter window — the point is scaling behaviour, not tight CIs.
 func DefaultScaleLarge() ScaleLargeStudy {
 	return ScaleLargeStudy{
-		Sides:         []int{10, 20, 30, 40, 50},
+		Sides:         []int{10, 20, 30, 40, 50, 100},
 		PerNodeLambda: 0.18,
 		Radius:        2,
 		Warmup:        50,
@@ -359,6 +364,7 @@ func RunScaleLarge(st ScaleLargeStudy, p Protocol, seed int64) []ScalePoint {
 			Duration:      st.Duration,
 			Seed:          seed,
 			FloodRadius:   st.Radius,
+			Shards:        st.Shards,
 		}
 		e := engine.New(ecfg, p.Build)
 		lambda := st.PerNodeLambda * float64(g.N())

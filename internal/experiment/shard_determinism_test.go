@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"realtor/internal/protocol"
+)
+
+// figureTables renders all four figure tables (Fig. 5–8) of a short
+// five-protocol sweep run on the given kernel.
+func figureTables(t *testing.T, shards int) string {
+	t.Helper()
+	sc := FigureSweep([]float64{3, 8}, 250, 2)
+	sc.Engine.Shards = shards
+	series := RunSweep(sc, StandardProtocols(protocol.DefaultConfig()))
+	out := ""
+	for _, m := range []Metric{Admission, MessageUnits, CostPerTask, MigrationRate} {
+		out += Table(series, m) + "\n"
+	}
+	return out
+}
+
+// TestFigureTablesShardInvariant is the experiment-level half of the
+// sharded kernel's determinism contract: the committed figure tables —
+// every float in them — must be byte-identical whichever kernel
+// produced them. The engine-level twin (TestShardedRunByteIdentical)
+// checks event sequences; this checks the paper artifacts.
+func TestFigureTablesShardInvariant(t *testing.T) {
+	want := figureTables(t, 1)
+	for _, shards := range []int{2, 4, 8} {
+		if got := figureTables(t, shards); got != want {
+			t.Fatalf("figure tables diverge at %d shards:\n got:\n%s\nwant:\n%s", shards, got, want)
+		}
+	}
+}
+
+// TestScaleLargeShardInvariant pins the same contract for the A2-L
+// scalability table at study scale (small sides keep the test quick;
+// the committed table's full sizes run through the identical code).
+func TestScaleLargeShardInvariant(t *testing.T) {
+	st := ScaleLargeStudy{
+		Sides:         []int{10, 16},
+		PerNodeLambda: 0.18,
+		Radius:        2,
+		Warmup:        10,
+		Duration:      110,
+	}
+	p := StandardProtocols(protocol.DefaultConfig())[4] // REALTOR
+	want := ScaleTable(RunScaleLarge(st, p, 7))
+	for _, shards := range []int{2, 8} {
+		st.Shards = shards
+		if got := ScaleTable(RunScaleLarge(st, p, 7)); got != want {
+			t.Fatalf("scale-large table diverges at %d shards:\n got:\n%s\nwant:\n%s", shards, got, want)
+		}
+	}
+}
+
+// TestScaleXLVerifiesByteIdentity exercises the XL study's built-in
+// cross-kernel verification on a small mesh and checks the rendered
+// table carries one row per (side, shards) cell with speedups filled in.
+func TestScaleXLVerifiesByteIdentity(t *testing.T) {
+	st := ScaleXLStudy{
+		Sides:         []int{12},
+		ShardCounts:   []int{1, 2, 4},
+		PerNodeLambda: 0.1,
+		Radius:        2,
+		Warmup:        5,
+		Duration:      45,
+	}
+	p := StandardProtocols(protocol.DefaultConfig())[4]
+	points, err := RunScaleXL(st, p, 11)
+	if err != nil {
+		t.Fatalf("RunScaleXL: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("point count %d, want 3", len(points))
+	}
+	for _, pt := range points {
+		if pt.Stats != points[0].Stats {
+			t.Fatalf("shards=%d stats %s, want %s", pt.Shards, pt.Stats, points[0].Stats)
+		}
+		if pt.Nodes != 144 || pt.Admission <= 0 {
+			t.Fatalf("implausible point %+v", pt)
+		}
+	}
+	table := XLTable(points)
+	if got := strings.Count(table, "\n"); got != 4 { // header + 3 rows
+		t.Fatalf("table has %d lines:\n%s", got, table)
+	}
+	if !strings.Contains(table, "1.00x") {
+		t.Fatalf("single-shard row missing unit speedup:\n%s", table)
+	}
+}

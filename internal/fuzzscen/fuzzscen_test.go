@@ -44,6 +44,22 @@ func TestDifferentialFastVsReference(t *testing.T) {
 	}
 }
 
+// TestDifferentialSharded runs the fast-vs-reference differential on
+// the conservative-parallel kernel: both twins replay sharded, and the
+// seeds that exercised global-event floods (exhaust attacks routing
+// cross-shard mail through a barrier) are inside the sweep. Divergence
+// here means the sharded kernel reordered decisions.
+func TestDifferentialSharded(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, shards := range []int{2, 4} {
+			if why, ok := DifferentialShards(Generate(seed), shards); !ok {
+				t.Errorf("seed %d shards %d: fast and reference diverge: %s\n%s",
+					seed, shards, why, Generate(seed).JSON())
+			}
+		}
+	}
+}
+
 func TestMetamorphicRelations(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
 		s := Generate(seed)

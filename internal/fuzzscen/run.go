@@ -41,8 +41,18 @@ func MutantBuilder(s Scenario) engine.Builder {
 // returns ("", true) when the two implementations are bit-identical,
 // or a description of the first divergence.
 func Differential(s Scenario) (string, bool) {
-	fast, fastStats := runLogged(s, Builder(s))
-	ref, refStats := runLogged(s, ReferenceBuilder(s))
+	return DifferentialShards(s, 1)
+}
+
+// DifferentialShards is Differential on the sharded kernel: both the
+// fast path and the reference replay with the given shard count. The
+// kernel promises a byte-identical event order at any shard count, so
+// the decision logs remain directly comparable — and running the pair
+// sharded extends the differential's coverage to the parallel kernel
+// itself.
+func DifferentialShards(s Scenario, shards int) (string, bool) {
+	fast, fastStats := runLogged(s, Builder(s), shards)
+	ref, refStats := runLogged(s, ReferenceBuilder(s), shards)
 	if _, why := check.CompareLogs(fast, ref); why != "" {
 		return why, false
 	}
@@ -53,12 +63,13 @@ func Differential(s Scenario) (string, bool) {
 	return "", true
 }
 
-func runLogged(s Scenario, build engine.Builder) (*check.DecisionLog, metrics.RunStats) {
+func runLogged(s Scenario, build engine.Builder, shards int) (*check.DecisionLog, metrics.RunStats) {
 	g := s.Graph()
 	log := &check.DecisionLog{}
 	cfg := s.EngineConfig(g)
 	cfg.Trace = log
 	cfg.Observer = log
+	cfg.Shards = shards
 	e := engine.New(cfg, build)
 	for _, a := range s.Attacks() {
 		a.Apply(e)

@@ -13,10 +13,20 @@ import (
 // scenario→engine.Config, fault schedule via attack.Scenario.Apply —
 // and the oracle runs with zero clock slack because the simulator is
 // deterministic.
-type simBackend struct{}
+type simBackend struct {
+	shards int
+}
 
 // Sim returns the discrete-event simulator backend.
-func Sim() Backend { return simBackend{} }
+func Sim() Backend { return simBackend{shards: 1} }
+
+// SimSharded returns the simulator backend running the conservative-
+// parallel kernel with n shards. Hooks fire inline from shard workers
+// (the oracle audits node state at callback time, so it needs the live
+// engine, not a post-phase replay); the Hooks mutex serializes the
+// oracle itself, and each callback only inspects the node owned by the
+// worker that fired it, so the inline path is race-free.
+func SimSharded(n int) Backend { return simBackend{shards: n} }
 
 // Name implements Backend.
 func (simBackend) Name() string { return "sim" }
@@ -25,7 +35,7 @@ func (simBackend) Name() string { return "sim" }
 func (simBackend) Slack() sim.Time { return 0 }
 
 // Start implements Backend.
-func (simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error) {
+func (b simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,6 +43,8 @@ func (simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks)
 	cfg := s.EngineConfig(g)
 	cfg.Trace = hooks
 	cfg.Observer = hooks
+	cfg.Shards = b.shards
+	cfg.InlineHooks = true
 	e := engine.New(cfg, build)
 	for _, a := range s.Attacks() {
 		a.Apply(e)

@@ -59,12 +59,45 @@ type Event struct {
 	gen  uint32 // must match the slot's current generation to be live
 }
 
-// heapItem is one entry of the 4-ary min-heap, ordered by (when, seq).
-// Keeping the ordering keys inline in the heap slice (instead of chasing
-// a pointer per comparison) is what makes sift operations cache-friendly.
+// SrcExternal is the tie-break namespace of events scheduled through the
+// plain At/After API. It sorts before every caller-keyed namespace, so
+// external control events (fault injection, study instrumentation) fire
+// before same-instant keyed simulation events — a fixed, documented
+// order instead of an accident of scheduling sequence.
+const SrcExternal int32 = -2
+
+// EventKey is the canonical total order on events: (when, src, seq),
+// compared lexicographically. src is a tie-break namespace — the entity
+// that created the event — and seq a counter that is monotone within
+// that namespace, so the order of two simultaneous events depends only
+// on who scheduled them and that creator's own logical progress, never
+// on how creators interleaved. That property is what lets the sharded
+// kernel replay a run identically at any worker count.
+type EventKey struct {
+	When Time
+	Src  int32
+	Seq  uint64
+}
+
+// Less reports whether k orders strictly before o.
+func (k EventKey) Less(o EventKey) bool {
+	if k.When != o.When {
+		return k.When < o.When
+	}
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	return k.Seq < o.Seq
+}
+
+// heapItem is one entry of the 4-ary min-heap, ordered by (when, src,
+// seq). Keeping the ordering keys inline in the heap slice (instead of
+// chasing a pointer per comparison) is what makes sift operations
+// cache-friendly.
 type heapItem struct {
 	when Time
-	seq  uint64 // FIFO tie-break for equal timestamps
+	seq  uint64 // monotone within src; FIFO tie-break for equal (when, src)
+	src  int32  // tie-break namespace (SrcExternal for plain At/After)
 	slot int32  // 0-based pool index of the owning eventRec
 }
 
@@ -86,6 +119,10 @@ type Scheduler struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+
+	lastKey   EventKey // key of the most recently fired event
+	scheduled uint64
+	reused    uint64 // schedules served from the free list (pool reuse)
 }
 
 // New returns an empty scheduler with the clock at zero.
@@ -139,10 +176,13 @@ func (s *Scheduler) When(e Event) (Time, bool) {
 	return s.heap[s.pool[e.slot-1].heap].when, true
 }
 
-// less orders heap items by (when, seq).
+// less orders heap items by (when, src, seq).
 func less(a, b heapItem) bool {
 	if a.when != b.when {
 		return a.when < b.when
+	}
+	if a.src != b.src {
+		return a.src < b.src
 	}
 	return a.seq < b.seq
 }
@@ -217,6 +257,7 @@ func (s *Scheduler) acquire(r Runner) int32 {
 	if n := len(s.free); n > 0 {
 		slot = s.free[n-1]
 		s.free = s.free[:n-1]
+		s.reused++
 	} else {
 		s.pool = append(s.pool, eventRec{gen: 1})
 		slot = int32(len(s.pool) - 1)
@@ -252,8 +293,22 @@ func (s *Scheduler) After(d Time, fn Handler) Event {
 
 // AtRunner schedules r.Fire to run at absolute time t. It is the
 // zero-allocation form of At: pass a pooled or long-lived Runner instead
-// of a fresh closure. The same past/NaN rules apply.
+// of a fresh closure. The same past/NaN rules apply. Events scheduled
+// this way live in the SrcExternal namespace with a scheduler-assigned
+// sequence, so among themselves they keep FIFO tie-breaking.
 func (s *Scheduler) AtRunner(t Time, r Runner) Event {
+	ev := s.AtKeyed(t, SrcExternal, s.seq, r)
+	s.seq++
+	return ev
+}
+
+// AtKeyed schedules r.Fire at absolute time t under the caller-supplied
+// canonical key (src, seq). The caller owns the namespace discipline:
+// seq must be monotone within src, and (t, src, seq) must be unique, or
+// same-instant ordering degenerates back to insertion order. This is
+// the scheduling form the sharded engine uses — keys assigned by the
+// creating node make the event order independent of shard interleaving.
+func (s *Scheduler) AtKeyed(t Time, src int32, seq uint64, r Runner) Event {
 	if r == nil {
 		panic("sim: nil runner")
 	}
@@ -264,8 +319,8 @@ func (s *Scheduler) AtRunner(t Time, r Runner) Event {
 		panic("sim: scheduling at NaN")
 	}
 	slot := s.acquire(r)
-	s.heap = append(s.heap, heapItem{when: t, seq: s.seq, slot: slot})
-	s.seq++
+	s.heap = append(s.heap, heapItem{when: t, src: src, seq: seq, slot: slot})
+	s.scheduled++
 	s.siftUp(len(s.heap) - 1)
 	return Event{slot: slot + 1, gen: s.pool[slot].gen}
 }
@@ -312,9 +367,81 @@ func (s *Scheduler) Step() bool {
 	// caller still holds from cancelling the slot's next occupant.
 	s.release(it.slot)
 	s.now = it.when
+	s.lastKey = EventKey{When: it.when, Src: it.src, Seq: it.seq}
 	s.fired++
 	r.Fire(s.now)
 	return true
+}
+
+// MinKey returns the canonical key of the earliest pending event. The
+// second result is false when the queue is empty.
+func (s *Scheduler) MinKey() (EventKey, bool) {
+	if len(s.heap) == 0 {
+		return EventKey{}, false
+	}
+	it := s.heap[0]
+	return EventKey{When: it.when, Src: it.src, Seq: it.seq}, true
+}
+
+// LastFiredKey returns the canonical key of the most recently fired
+// event — the identity of the event currently executing when called
+// from inside a handler. Zero until the first event fires.
+func (s *Scheduler) LastFiredKey() EventKey { return s.lastKey }
+
+// RunBelow fires every event whose key orders strictly before bound
+// (including events those events schedule, as long as they stay below
+// the bound) and returns how many fired. It does not advance the clock
+// past the last fired event; pair with AdvanceTo at a phase barrier.
+// This is the shard worker's inner loop: bound is the conservative
+// lookahead horizon no cross-shard influence can penetrate.
+func (s *Scheduler) RunBelow(bound EventKey) int {
+	n := 0
+	for !s.halted && len(s.heap) > 0 {
+		it := s.heap[0]
+		if !(EventKey{When: it.when, Src: it.src, Seq: it.seq}).Less(bound) {
+			break
+		}
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// AdvanceTo moves the clock forward to t without firing anything. It
+// panics if an event earlier than t is still pending (that would skip
+// it) or if t is in the past — both are coordinator bugs, not states a
+// run can recover from.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", t, s.now))
+	}
+	if len(s.heap) > 0 && s.heap[0].when < t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) would skip event at %v", t, s.heap[0].when))
+	}
+	s.now = t
+}
+
+// KernelStats is a point-in-time snapshot of the scheduler's internal
+// effort counters, the event-kernel analogue of topology.DistStats.
+type KernelStats struct {
+	Scheduled uint64 // events ever scheduled
+	Fired     uint64 // events executed
+	Reused    uint64 // schedules served by recycling a pooled event slot
+	PoolSize  int    // high-water mark of the event pool
+	Pending   int    // events still queued
+}
+
+// KernelStats returns the current counters. Reused/Scheduled is the
+// pooled-event reuse ratio: near 1 once a run reaches steady state,
+// meaning scheduling has stopped allocating.
+func (s *Scheduler) KernelStats() KernelStats {
+	return KernelStats{
+		Scheduled: s.scheduled,
+		Fired:     s.fired,
+		Reused:    s.reused,
+		PoolSize:  len(s.pool),
+		Pending:   len(s.heap),
+	}
 }
 
 // Run executes events until the queue drains or Halt is called.

@@ -1,0 +1,108 @@
+package topology
+
+// Shard assignment and lookahead support for the conservative-parallel
+// event kernel (see DESIGN.md §10). A shard is a contiguous band of node
+// IDs; on the row-major meshes every builder in this repository
+// produces, ID bands are row bands, so most links — and therefore most
+// message traffic — stay shard-internal.
+
+// ShardAssign partitions the graph's nodes into at most `shards`
+// near-equal contiguous ID bands and returns the shard index of every
+// node. The assignment is a pure function of (N, shards): deterministic,
+// topology-independent, and stable across runs — a requirement, because
+// per-shard schedulers replay a run's events and the replay must land
+// every event on the same worker each time. shards is clamped to [1, N].
+func ShardAssign(g *Graph, shards int) []int32 {
+	n := g.N()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(i * shards / n)
+	}
+	return out
+}
+
+// MinCrossShardDist returns the minimum hop distance between any pair of
+// nodes assigned to different shards — the conservative lookahead bound:
+// no message between shards can be delivered sooner than
+// HopDelay × MinCrossShardDist after it was sent. Unreachable pairs
+// impose no bound. Returns 0 if fewer than two shards are populated
+// (no cross-shard traffic exists, so the caller may run unsynchronized).
+//
+// The common case — some link joins two shards — is answered by a single
+// adjacency scan. Only when no link crosses (distance ≥ 2, e.g. shards
+// separated by a cut) does it fall back to a BFS from every boundary of
+// a shard, stopping at the first foreign node.
+func MinCrossShardDist(g *Graph, assign []int32) int {
+	n := g.N()
+	multi := false
+	for i := 1; i < n; i++ {
+		if assign[i] != assign[0] {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return 0
+	}
+	for a := 0; a < n; a++ {
+		for _, b := range g.adj[a] {
+			if assign[a] != assign[b] {
+				return 1
+			}
+		}
+	}
+	best := -1
+	row := make([]int, n)
+	for src := 0; src < n; src++ {
+		g.bfs(NodeID(src), row)
+		for v := 0; v < n; v++ {
+			if row[v] > 0 && assign[v] != assign[src] && (best < 0 || row[v] < best) {
+				best = row[v]
+			}
+		}
+	}
+	if best < 0 {
+		return 0 // shards mutually unreachable: no cross traffic at all
+	}
+	return best
+}
+
+// DiameterUpperBound returns an upper bound on the graph's diameter
+// from two BFS passes (the classic double sweep: eccentricity of the
+// node farthest from node 0, doubled), or -1 if the graph is
+// disconnected. On a 100k-node mesh the exact Diameter costs 100k BFS
+// passes; this costs two, and every caller that needs the diameter only
+// to size a settling window (Engine.Run) is correct with any upper
+// bound.
+func (g *Graph) DiameterUpperBound() int {
+	row := make([]int, g.n)
+	g.bfs(0, row)
+	far := NodeID(0)
+	for v, d := range row {
+		if d < 0 {
+			return -1
+		}
+		if d > row[far] {
+			far = NodeID(v)
+		}
+	}
+	g.bfs(far, row)
+	ecc := 0
+	for _, d := range row {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	// diam ≤ 2·ecc(u) for any u; ecc(far) is also ≥ the true diameter's
+	// half, making this bound at most 2× the truth on any graph.
+	return 2 * ecc
+}

@@ -527,21 +527,48 @@ func (g *Graph) Diameter() int {
 	return max
 }
 
+// mplExactLimit bounds the exact all-sources mean-path computation:
+// graphs up to this many nodes average over every source (the historical
+// behaviour, preserved for every committed study size up to the 50×50
+// mesh). Larger graphs average over mplSampleSources evenly strided
+// sources instead — one BFS each — because the exact form is Θ(N·E)
+// (≈3·10¹⁰ operations on a 100k-node mesh) and its only consumer,
+// protocol.NewCostModel, ceils the result to a whole hop count anyway.
+const (
+	mplExactLimit    = 4096
+	mplSampleSources = 64
+)
+
 // MeanPathLength returns the average hop distance over all ordered pairs
 // of distinct reachable nodes. On the paper's 5×5 mesh this is ≈3.33; the
 // paper rounds the PLEDGE cost to 4, which callers may do themselves (see
-// protocol.CostModel).
+// protocol.CostModel). Above mplExactLimit nodes the average is estimated
+// from a deterministic sample of sources (same inputs, same estimate).
 func (g *Graph) MeanPathLength() float64 {
 	sum, cnt := 0, 0
-	g.eachRow(func(i int, row []int) bool {
-		for j, d := range row {
-			if i != j && d > 0 {
-				sum += d
-				cnt++
+	if g.n > mplExactLimit {
+		stride := g.n / mplSampleSources
+		row := make([]int, g.n)
+		for i := 0; i < g.n; i += stride {
+			g.bfs(NodeID(i), row)
+			for j, d := range row {
+				if i != j && d > 0 {
+					sum += d
+					cnt++
+				}
 			}
 		}
-		return true
-	})
+	} else {
+		g.eachRow(func(i int, row []int) bool {
+			for j, d := range row {
+				if i != j && d > 0 {
+					sum += d
+					cnt++
+				}
+			}
+			return true
+		})
+	}
 	if cnt == 0 {
 		return 0
 	}
