@@ -16,6 +16,7 @@ import (
 	"realtor/internal/attack"
 	"realtor/internal/engine"
 	"realtor/internal/experiment"
+	"realtor/internal/policy"
 	"realtor/internal/protocol"
 	"realtor/internal/rng"
 	"realtor/internal/topology"
@@ -271,6 +272,43 @@ func BenchmarkSweepParallel(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkPolicyOverhead prices the traffic-protection middleware on
+// the λ=7 throughput cell: "bare" is REALTOR without the policy layer,
+// "off" wraps the builder with a disabled config (policy.New is the
+// identity there, so ns/op must match bare within noise — the zero-cost
+// claim of DESIGN.md §11), and "stack" runs the full default stack.
+func BenchmarkPolicyOverhead(b *testing.B) {
+	p := experiment.StandardProtocols(protocol.DefaultConfig())[4]
+	stack := policy.DefaultStack()
+	for _, v := range []struct {
+		name string
+		cfg  *policy.Config
+	}{{"bare", nil}, {"off", &policy.Config{}}, {"stack", &stack}} {
+		b.Run(v.name, func(b *testing.B) {
+			build := p.Build
+			if v.cfg != nil {
+				build = policy.New(*v.cfg, build)
+			}
+			b.ReportAllocs()
+			admission := 0.0
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Config{
+					Graph:         topology.Mesh(5, 5),
+					QueueCapacity: 100,
+					HopDelay:      0.01,
+					Threshold:     0.9,
+					Warmup:        0,
+					Duration:      200,
+					Seed:          int64(i + 1),
+				}
+				e := engine.New(cfg, build)
+				admission = e.Run(workload.NewPoisson(7, 5, 25, rng.New(int64(i+1)))).AdmissionProbability()
+			}
+			b.ReportMetric(admission, "admission")
 		})
 	}
 }

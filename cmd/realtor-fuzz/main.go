@@ -10,6 +10,12 @@
 //	realtor-fuzz -n 50 -meta                # additionally check metamorphic relations
 //	realtor-fuzz -n 50 -mutant              # prove the harness: the seeded
 //	                                        # soft-state-expiry bug must be caught
+//	realtor-fuzz -n 50 -mutant-breaker      # same, for the miswired circuit
+//	                                        # breaker (the I10 audit's teeth)
+//	realtor-fuzz -n 50 -policy all          # force the full policy stack onto
+//	                                        # every scenario (see realtor-sim -policy
+//	                                        # for the spec grammar; "none" strips
+//	                                        # whatever the generator drew)
 //	realtor-fuzz -backend sim -shards 4     # same sweep on the sharded
 //	                                        # conservative-parallel kernel
 //	realtor-fuzz -backend live -n 25        # replay scenarios on the live
@@ -37,8 +43,10 @@ import (
 	"runtime"
 	"sync"
 
+	"realtor/internal/engine"
 	"realtor/internal/fuzzscen"
 	"realtor/internal/harness"
+	"realtor/internal/policy"
 	"realtor/internal/sim"
 )
 
@@ -56,6 +64,38 @@ type options struct {
 	live    harness.Backend // parity's live leg (nil unless -parity)
 	tol     harness.Tolerance
 	shards  int // sim kernel shard count (1 = classic sequential kernel)
+
+	// forced is the -policy override: an enabled config replaces whatever
+	// middleware the generator drew, an explicit "none" strips it, nil
+	// leaves the generator's choice alone.
+	forced *policy.Config
+	// mutant is non-nil in mutant mode: it builds the deliberately broken
+	// protocol (soft-state expiry or miswired breaker) the oracle must
+	// catch. mutantLabel names it in the report.
+	mutant      func(fuzzscen.Scenario) engine.Builder
+	mutantLabel string
+}
+
+// scenario generates seed's scenario with the -policy override applied.
+// The override happens at generation, not inside the check, so the
+// shrinker is still free to drop the forced policies while minimizing.
+func (o options) scenario(seed int64) fuzzscen.Scenario {
+	return o.applyForced(fuzzscen.Generate(seed))
+}
+
+func (o options) applyForced(s fuzzscen.Scenario) fuzzscen.Scenario {
+	switch {
+	case o.forced == nil:
+	case !o.forced.Enabled():
+		s.Policies = nil
+	default:
+		cfg := *o.forced
+		if cfg.Seed == 0 {
+			cfg.Seed = uint64(s.Seed)
+		}
+		s.Policies = &cfg
+	}
+	return s
 }
 
 // failure is one seed's verdict. Kind is which layer failed
@@ -77,6 +117,8 @@ func run(args []string, out, errw io.Writer) int {
 		diff       = fs.Bool("diff", true, "check fast-vs-reference decision equality (sim only)")
 		meta       = fs.Bool("meta", false, "check metamorphic relations (relabel, capacity, flood scope; sim only)")
 		mutant     = fs.Bool("mutant", false, "run the soft-state-expiry mutant and demand the oracle catches it")
+		mutantBrk  = fs.Bool("mutant-breaker", false, "run the miswired-breaker policy mutant and demand the I10 audit catches it")
+		policySpec = fs.String("policy", "", "force this policy spec onto every scenario (\"none\" strips; see realtor-sim -policy for the grammar)")
 		minimize   = fs.Bool("minimize", true, "shrink the first counterexample before printing (sim backend only)")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines")
 		replay     = fs.String("replay", "", "replay one scenario JSON file instead of generating")
@@ -106,8 +148,27 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
+	if *mutant && *mutantBrk {
+		fmt.Fprintln(errw, "realtor-fuzz: -mutant and -mutant-breaker are mutually exclusive")
+		return 2
+	}
+
 	lcfg := harness.LiveConfig{TimeScale: *scale, Transport: *transport, Slack: sim.Time(*slack)}
 	opts := options{invariants: *invariants, diff: *diff, meta: *meta, tol: harness.DefaultTolerance(), shards: *shards}
+	if *policySpec != "" {
+		cfg, err := policy.ParseSpec(*policySpec)
+		if err != nil {
+			fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
+			return 2
+		}
+		opts.forced = &cfg
+	}
+	switch {
+	case *mutant:
+		opts.mutant, opts.mutantLabel = fuzzscen.MutantBuilder, "soft-state-expiry"
+	case *mutantBrk:
+		opts.mutant, opts.mutantLabel = fuzzscen.BrokenBreakerBuilder, "miswired-breaker"
+	}
 	switch *backendName {
 	case "sim":
 		if *shards > 1 {
@@ -138,7 +199,7 @@ func run(args []string, out, errw io.Writer) int {
 	}
 
 	if *replay != "" {
-		return runReplay(*replay, opts, *mutant, out, errw)
+		return runReplay(*replay, opts, out, errw)
 	}
 
 	// Sweep. Results land in a slice indexed by offset, so the report
@@ -151,7 +212,7 @@ func run(args []string, out, errw io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				verdicts[i] = checkSeed(*seed+int64(i), opts, *mutant)
+				verdicts[i] = checkSeed(*seed+int64(i), opts)
 			}
 		}()
 	}
@@ -179,12 +240,12 @@ func run(args []string, out, errw io.Writer) int {
 		}
 	}
 
-	if *mutant {
+	if opts.mutant != nil {
 		caught := *n - failures // in mutant mode a verdict means ESCAPED
-		fmt.Fprintf(out, "mutant sweep (%s): %d scenarios, oracle caught the seeded bug in %d\n",
-			opts.backend.Name(), *n, caught)
+		fmt.Fprintf(out, "mutant sweep (%s, %s): %d scenarios, oracle caught the seeded bug in %d\n",
+			opts.backend.Name(), opts.mutantLabel, *n, caught)
 		if caught == 0 {
-			fmt.Fprintln(out, "FAIL: the soft-state-expiry mutant escaped every scenario — the oracle has no teeth")
+			fmt.Fprintf(out, "FAIL: the %s mutant escaped every scenario — the oracle has no teeth\n", opts.mutantLabel)
 			return 1
 		}
 		// Show one caught case as a replayable counterexample for the bug.
@@ -215,10 +276,10 @@ func run(args []string, out, errw io.Writer) int {
 // oracle caught the mutant OR the scenario never tickled the bug;
 // a failure means the sweep position where the mutant escaped is moot —
 // mutant mode only needs one catch overall, handled by the caller.
-func checkSeed(seed int64, opts options, mutant bool) *failure {
-	s := fuzzscen.Generate(seed)
-	if mutant {
-		res, err := harness.RunChecked(opts.backend, s, fuzzscen.MutantBuilder(s))
+func checkSeed(seed int64, opts options) *failure {
+	s := opts.scenario(seed)
+	if opts.mutant != nil {
+		res, err := harness.RunChecked(opts.backend, s, opts.mutant(s))
 		if err == nil && res.Failed() {
 			return nil // caught: good
 		}
@@ -281,7 +342,7 @@ func violationText(out harness.Outcome) string {
 // reportFailure prints the lowest failing seed's counterexample,
 // re-shrinking it under the predicate of the layer that failed.
 func reportFailure(seed int64, f *failure, opts options, minimize bool, out io.Writer) {
-	s := fuzzscen.Generate(seed)
+	s := opts.scenario(seed)
 	fmt.Fprintf(out, "\nseed %d failed the %s layer:\n%s\n", seed, f.kind, f.desc)
 	if minimize {
 		fails := func(c fuzzscen.Scenario) bool { return checkScenario(c, opts) != nil }
@@ -295,20 +356,21 @@ func reportFailure(seed int64, f *failure, opts options, minimize bool, out io.W
 }
 
 // reportMutantCatch shrinks and prints the scenario on which the oracle
-// caught the seeded soft-state-expiry bug — the demonstration that a
-// real protocol defect yields a minimal replayable schedule. Shrinking
+// caught the seeded bug (soft-state expiry or miswired breaker) — the
+// demonstration that a real defect yields a minimal replayable schedule.
+// Shrinking
 // replays on the sweep's backend, so it is only enabled for the
 // deterministic simulator.
 func reportMutantCatch(seed int64, opts options, minimize bool, out io.Writer) {
-	s := fuzzscen.Generate(seed)
+	s := opts.scenario(seed)
 	mutantFails := func(c fuzzscen.Scenario) bool {
-		res, err := harness.RunChecked(opts.backend, c, fuzzscen.MutantBuilder(c))
+		res, err := harness.RunChecked(opts.backend, c, opts.mutant(c))
 		return err == nil && res.Failed()
 	}
 	if minimize {
 		s = fuzzscen.Shrink(s, mutantFails)
 	}
-	res, err := harness.RunChecked(opts.backend, s, fuzzscen.MutantBuilder(s))
+	res, err := harness.RunChecked(opts.backend, s, opts.mutant(s))
 	if err != nil {
 		fmt.Fprintf(out, "first catching seed %d (replay failed: %v)\n", seed, err)
 		return
@@ -318,7 +380,7 @@ func reportMutantCatch(seed int64, opts options, minimize bool, out io.Writer) {
 	fmt.Fprintln(out, s.JSON())
 }
 
-func runReplay(path string, opts options, mutant bool, out, errw io.Writer) int {
+func runReplay(path string, opts options, out, errw io.Writer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
@@ -329,8 +391,9 @@ func runReplay(path string, opts options, mutant bool, out, errw io.Writer) int 
 		fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
 		return 2
 	}
-	if mutant {
-		res, err := harness.RunChecked(opts.backend, s, fuzzscen.MutantBuilder(s))
+	s = opts.applyForced(s)
+	if opts.mutant != nil {
+		res, err := harness.RunChecked(opts.backend, s, opts.mutant(s))
 		if err != nil {
 			fmt.Fprintf(errw, "realtor-fuzz: %v\n", err)
 			return 2

@@ -62,6 +62,40 @@ func TestRunReplay(t *testing.T) {
 	}
 }
 
+// TestRunPolicySweepClean forces the full middleware stack onto every
+// scenario of a short sweep: the oracle (I1–I11) and the differential
+// must both stay clean with policies live, on the sharded kernel too.
+func TestRunPolicySweepClean(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-n", "4", "-seed", "1", "-shards", "2",
+		"-policy", "all", "-parallel", "1"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 failed") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+// TestRunBreakerMutantCaught demands the miswired-breaker mutant is
+// caught by the I10 audit somewhere in a short sweep — the in-process
+// twin of `make policy-smoke`'s mutant leg.
+func TestRunBreakerMutantCaught(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-n", "40", "-seed", "1",
+		"-mutant-breaker", "-minimize=false", "-parallel", "1"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "miswired-breaker") ||
+		strings.Contains(out.String(), "caught the seeded bug in 0\n") {
+		t.Fatalf("breaker mutant sweep output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "I10-breaker-legality") {
+		t.Fatalf("catch not attributed to the I10 audit:\n%s", out.String())
+	}
+}
+
 // TestRunFlagValidation pins the usage-error exits.
 func TestRunFlagValidation(t *testing.T) {
 	cases := [][]string{
@@ -71,6 +105,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-shards", "2", "-backend", "live"},
 		{"-backend", "carrier-pigeon"},
 		{"-no-such-flag"},
+		{"-mutant", "-mutant-breaker"},
+		{"-policy", "bogus"},
+		{"-policy", "bucket:rate=-1"},
 	}
 	for _, args := range cases {
 		var out, errw strings.Builder

@@ -216,6 +216,25 @@ func main() {
 		experiment.CommunityTable(experiment.RunCommunity(
 			[]float64{2, 4, 5, 6, 7, 8, 9, 10}, *seed)))
 
+	var pol strings.Builder
+	pol.WriteString("# R2 traffic-protection policies: REALTOR wrapped in the\n" +
+		"# internal/policy middleware (token-bucket HELP limiting, circuit\n" +
+		"# breakers, retry with backoff, hysteresis elastic capacity) under\n" +
+		"# exhaustion, flapping, and link-churn attacks. The attack occupies\n" +
+		"# the middle third of the run; recover-s is seconds past its end\n" +
+		"# until admission regains 95% of the variant's own pre-attack mean\n" +
+		"# (\"-\" = not within the run).\n")
+	for _, lambda := range []float64{5, 8} {
+		pls := experiment.DefaultPolicyStudy(lambda, *seed)
+		if *quick {
+			pls.Warmup, pls.Duration = 30, 300
+			pls.AttackAt, pls.Recover, pls.BinWidth = 100, 200, 25
+		}
+		fmt.Fprintf(&pol, "\n## lambda=%g\n", lambda)
+		pol.WriteString(experiment.PolicyTable(experiment.RunPolicy(pls)))
+	}
+	write("policy.txt", pol.String())
+
 	dl, err := agile.RunDeadlineStudy(acfg, []float64{1.8, 2.2, 2.6}, 5, 3, liveDur, *seed, mk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "realtor-report:", err)

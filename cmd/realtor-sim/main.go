@@ -20,6 +20,9 @@
 //	realtor-sim -fig gossip             # REALTOR vs anti-entropy gossip (modern comparator)
 //	realtor-sim -fig retries            # one-try vs walk-the-list migration
 //	realtor-sim -fig partition          # survivability across a mesh bisection
+//	realtor-sim -fig policy             # traffic-protection middleware head-to-head
+//	realtor-sim -fig policy -policy "bucket:rate=0.5,burst=2;breaker"
+//	                                    # add a custom policy stack to the line-up
 //	realtor-sim -fig 5 -csv             # CSV with 95% CIs instead of a table
 //	realtor-sim -fig 5 -plot            # ASCII chart instead of a table
 //	realtor-sim -duration 5000 -reps 5  # longer, tighter runs
@@ -48,6 +51,7 @@ import (
 
 	"realtor/internal/engine"
 	"realtor/internal/experiment"
+	"realtor/internal/policy"
 	"realtor/internal/protocol"
 	"realtor/internal/rng"
 	"realtor/internal/sim"
@@ -93,7 +97,7 @@ func startProfiles(cpu, mem string) func() {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|scale-large|scale-xl|ab|fed|sec|loss|gossip|retries|community|partition")
+	fig := flag.String("fig", "all", "which figure to regenerate: 5|6|7|8|all|scale|scale-large|scale-xl|ab|fed|sec|loss|gossip|retries|community|partition|policy")
 	duration := flag.Float64("duration", 2200, "simulated seconds per run")
 	reps := flag.Int("reps", 3, "independent replications per point")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -107,11 +111,17 @@ func main() {
 		"event-kernel shards per run (output is identical for any value; > 1 runs the conservative-parallel kernel)")
 	kernelstats := flag.Bool("kernelstats", false,
 		"run one diagnostic REALTOR simulation and print scheduler kernel counters")
+	policySpec := flag.String("policy", "",
+		"extra policy-study contender, e.g. \"bucket:rate=0.5,burst=2;breaker:trip=3\" (with -fig policy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintln(os.Stderr, "realtor-sim: -shards must be at least 1")
+		os.Exit(2)
+	}
+	if *policySpec != "" && *fig != "policy" {
+		fmt.Fprintln(os.Stderr, "realtor-sim: -policy only applies with -fig policy")
 		os.Exit(2)
 	}
 	experiment.SetParallelism(*parallel)
@@ -148,6 +158,11 @@ func main() {
 		runCommunity(*seed)
 	case "partition":
 		runPartition(*seed)
+	case "policy":
+		if err := runPolicyStudy(os.Stdout, *policySpec, policyStudies(*seed, *shards)); err != nil {
+			fmt.Fprintf(os.Stderr, "realtor-sim: %v\n", err)
+			os.Exit(2)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "realtor-sim: unknown figure %q\n", *fig)
 		flag.Usage()
@@ -281,6 +296,47 @@ func runKernelStats(w io.Writer, seed int64, shards int, duration sim.Time) {
 		ks.Reused, 100*float64(ks.Reused)/float64(max(ks.Scheduled, 1)))
 	fmt.Fprintf(w, "pool high-water    %d\n", ks.PoolSize)
 	fmt.Fprintf(w, "still pending      %d\n", ks.Pending)
+}
+
+// policyStudies builds the -fig policy line-up: the default 900s study
+// at a calm (λ=5) and a saturating (λ=8) arrival rate.
+func policyStudies(seed int64, shards int) []experiment.PolicyStudy {
+	var out []experiment.PolicyStudy
+	for _, lambda := range []float64{5, 8} {
+		st := experiment.DefaultPolicyStudy(lambda, seed)
+		st.Shards = shards
+		out = append(out, st)
+	}
+	return out
+}
+
+// runPolicyStudy runs the traffic-protection head-to-head (DESIGN.md
+// §11): every policy variant under every attack scenario, one table per
+// study. A non-empty spec — parsed and validated by policy.ParseSpec,
+// so negative rates or unknown policy names are rejected before any
+// simulation runs — adds a "custom" contender alongside the default
+// line-up.
+func runPolicyStudy(w io.Writer, spec string, studies []experiment.PolicyStudy) error {
+	var variants []experiment.PolicyVariant
+	if spec != "" {
+		cfg, err := policy.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		variants = append(experiment.PolicyVariants(), experiment.PolicyVariant{Tag: "custom", Cfg: cfg})
+	}
+	fmt.Fprintln(w, "# Traffic protection (R2): REALTOR wrapped in the internal/policy")
+	fmt.Fprintln(w, "# middleware — token-bucket HELP limiting, circuit breakers, retry")
+	fmt.Fprintln(w, "# with backoff, hysteresis elastic capacity — under exhaustion,")
+	fmt.Fprintln(w, "# flapping, and link-churn attacks on the 5x5 mesh. The attack")
+	fmt.Fprintln(w, "# occupies the middle third of the run; recover-s is seconds past")
+	fmt.Fprintln(w, "# the attack's end until a bin regains 95% of the variant's own")
+	fmt.Fprintln(w, "# pre-attack mean admission (\"-\" = not within the run).")
+	for _, st := range studies {
+		fmt.Fprintf(w, "\n## lambda=%g\n", st.Lambda)
+		fmt.Fprint(w, experiment.PolicyTable(experiment.RunPolicy(st, variants...)))
+	}
+	return nil
 }
 
 func runFederation(seed int64) {

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"realtor/internal/experiment"
 )
 
 // TestRunKernelStats pins the -kernelstats diagnostic: the counters must
@@ -40,5 +42,72 @@ func TestRunKernelStats(t *testing.T) {
 	}
 	if a, b := line(outputs[1]), line(outputs[4]); a == "" || a != b {
 		t.Fatalf("admitted lines diverge across shard counts: %q vs %q", a, b)
+	}
+}
+
+// tinyPolicyStudy keeps the -fig policy surface testable: same cell
+// grid as the real study, but a window short enough for unit tests.
+func tinyPolicyStudy() []experiment.PolicyStudy {
+	return []experiment.PolicyStudy{{
+		Lambda: 5, Seed: 1,
+		Warmup: 20, Duration: 150,
+		AttackAt: 50, Recover: 100, BinWidth: 25,
+	}}
+}
+
+// TestRunPolicyStudy exercises the -fig policy writer: header comments,
+// one section per study, every default variant present, and a "custom"
+// row when a -policy spec is supplied.
+func TestRunPolicyStudy(t *testing.T) {
+	var b strings.Builder
+	if err := runPolicyStudy(&b, "", tinyPolicyStudy()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Traffic protection", "## lambda=5", "attack", "recover-s",
+		"baseline", "bucket", "breaker", "retry", "elastic", "stack",
+		"exhaust", "flap", "churn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("policy study output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "custom") {
+		t.Fatal("custom row present without a -policy spec")
+	}
+
+	b.Reset()
+	if err := runPolicyStudy(&b, "bucket:rate=0.5,burst=2;breaker", tinyPolicyStudy()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "custom") {
+		t.Fatalf("spec did not add a custom row:\n%s", b.String())
+	}
+}
+
+// TestRunPolicyStudyRejectsBadSpecs pins the -policy flag's validation:
+// malformed specs must fail fast — before any simulation — with a
+// pointed error.
+func TestRunPolicyStudyRejectsBadSpecs(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"bogus", "unknown policy name"},
+		{"bucket:rate=-1", "must be positive"},
+		{"bucket:rate=0.5,burst=0", "at least 1 token"},
+		{"breaker:trip", "malformed parameter"},
+		{"retry:strategy=frob", "unknown retry strategy"},
+	}
+	for _, c := range cases {
+		var b strings.Builder
+		err := runPolicyStudy(&b, c.spec, tinyPolicyStudy())
+		if err == nil {
+			t.Fatalf("spec %q accepted", c.spec)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %q: error %q does not mention %q", c.spec, err, c.want)
+		}
+		if b.Len() != 0 {
+			t.Errorf("spec %q: output written despite the error", c.spec)
+		}
 	}
 }

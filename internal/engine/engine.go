@@ -1032,6 +1032,48 @@ func (e *Engine) afterAccept(c *shardCtx, now sim.Time, id topology.NodeID) {
 	e.nodeSeq[id]++
 }
 
+// resize changes node id's queue capacity mid-run (the elastic-capacity
+// policy's hook) through the same crossing bookkeeping as an admission,
+// so the I8 up/down alternation survives the threshold moving. Shrinking
+// below the current backlog is clamped by the node (usage stays ≤ 1);
+// after the resize the crossing state is re-evaluated in both
+// directions: the pending drain-time crossing is stale the moment the
+// threshold moves, and growing capacity can put usage below the
+// threshold right now.
+func (e *Engine) resize(c *shardCtx, now sim.Time, id topology.NodeID, want float64) bool {
+	if !e.nodes[id].Alive() {
+		return false
+	}
+	applied, ok := e.nodes[id].SetCapacity(now, want)
+	if !ok {
+		return false
+	}
+	e.traceCtx(c, trace.Event{At: now, Kind: trace.Resize, Node: id, Peer: -1, Size: applied})
+	thr := e.cfg.Threshold * applied
+	backlog := e.nodes[id].Backlog(now)
+	dc := e.ctxs[e.shardOf[id]]
+	if backlog > thr {
+		if !e.above[id] {
+			e.above[id] = true
+			e.traceCtx(c, trace.Event{At: now, Kind: trace.CrossUp, Node: id, Peer: -1})
+			e.disco[id].OnUsageCrossing(true)
+		}
+		// Reschedule the downward crossing against the new threshold.
+		dc.sched.Cancel(e.crossEvs[id])
+		cr := &e.crossings[id]
+		cr.gen = e.gen[id]
+		e.crossEvs[id] = dc.sched.AtKeyed(now+sim.Time(backlog-thr), int32(id), e.nodeSeq[id], cr)
+		e.nodeSeq[id]++
+	} else if e.above[id] {
+		dc.sched.Cancel(e.crossEvs[id])
+		e.crossEvs[id] = sim.Event{}
+		e.above[id] = false
+		e.traceCtx(c, trace.Event{At: now, Kind: trace.CrossDown, Node: id, Peer: -1})
+		e.disco[id].OnUsageCrossing(false)
+	}
+	return true
+}
+
 // crossing is the per-node downward-crossing runner: it fires when the
 // queue drains back to the threshold level.
 type crossing struct {
@@ -1194,6 +1236,11 @@ func (v *nodeEnv) Capacity() float64 {
 	return v.engine.nodes[v.id].Capacity()
 }
 
+// SetCapacity implements protocol.CapacityScaler for the elastic policy.
+func (v *nodeEnv) SetCapacity(c float64) bool {
+	return v.engine.resize(v.ctx, v.ctx.sched.Now(), v.id, c)
+}
+
 // Flood delivers m to every other alive node with per-hop latency and
 // charges the paper's flood cost (#links) once.
 func (v *nodeEnv) Flood(m protocol.Message) {
@@ -1215,8 +1262,15 @@ func (v *nodeEnv) Flood(m protocol.Message) {
 			st.PledgeMsgs++
 		}
 	}
+	info := "flood-" + m.Kind.String()
+	if m.Reissue {
+		// Policy-layer retries trace distinctly so rate invariants on
+		// original emissions (I1, I9) skip them and the retry ledger
+		// (I11) can count them.
+		info = "reflood-" + m.Kind.String()
+	}
 	e.traceCtx(v.ctx, trace.Event{At: now, Kind: trace.MsgSend, Node: v.id, Peer: -1,
-		Info: "flood-" + m.Kind.String()})
+		Info: info})
 	if e.scope != nil {
 		useDist := e.scopeDist != nil && !e.ownsGraph
 		for k, to := range e.scope[v.id] {

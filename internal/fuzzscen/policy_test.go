@@ -1,0 +1,154 @@
+package fuzzscen
+
+import (
+	"testing"
+
+	"realtor/internal/check"
+	"realtor/internal/policy"
+)
+
+// policySeeds returns the generated seeds in [1, max] whose scenarios
+// carry policies.
+func policySeeds(max int64) []int64 {
+	var out []int64
+	for seed := int64(1); seed <= max; seed++ {
+		if Generate(seed).Policies != nil {
+			out = append(out, seed)
+		}
+	}
+	return out
+}
+
+func TestGenerateDrawsAllPolicies(t *testing.T) {
+	seeds := policySeeds(60)
+	if len(seeds) < 10 {
+		t.Fatalf("only %d of 60 seeds carry policies; the generator's policy arm atrophied", len(seeds))
+	}
+	kinds := map[string]bool{}
+	for _, seed := range seeds {
+		p := Generate(seed).Policies
+		if p.Bucket != nil {
+			kinds["bucket"] = true
+		}
+		if p.Breaker != nil {
+			kinds["breaker"] = true
+		}
+		if p.Retry != nil {
+			kinds["retry"] = true
+		}
+		if p.Elastic != nil {
+			kinds["elastic"] = true
+		}
+	}
+	for _, k := range []string{"bucket", "breaker", "retry", "elastic"} {
+		if !kinds[k] {
+			t.Errorf("no generated scenario in 60 seeds enables the %s policy", k)
+		}
+	}
+}
+
+// TestPolicySweepShardInvariant is the determinism regression for the
+// middleware: a policy-carrying scenario must produce byte-identical
+// decision logs at shards 1, 2, 4, and 8. Policies arm timers and draw
+// jitter, so any shard-dependent event ordering would surface here.
+func TestPolicySweepShardInvariant(t *testing.T) {
+	seeds := policySeeds(smokeSeeds)
+	if len(seeds) < 3 {
+		t.Fatalf("only %d policy scenarios in the smoke sweep", len(seeds))
+	}
+	if len(seeds) > 5 {
+		seeds = seeds[:5]
+	}
+	for _, seed := range seeds {
+		s := Generate(seed)
+		base, baseStats := runLogged(s, Builder(s), 1)
+		for _, shards := range []int{2, 4, 8} {
+			got, gotStats := runLogged(s, Builder(s), shards)
+			if i, why := check.CompareLogs(base, got); why != "" {
+				t.Errorf("seed %d (%s): shards=1 vs shards=%d diverge at %d: %s\n%s",
+					seed, s.Policies.Tag(), shards, i, why, s.JSON())
+			}
+			if baseStats != gotStats {
+				t.Errorf("seed %d: stats diverge at shards=%d:\n 1: %+v\n %d: %+v",
+					seed, shards, baseStats, shards, gotStats)
+			}
+		}
+	}
+}
+
+// TestTransparentPoliciesAreByteIdentical pins the no-op transparency
+// bound: a bucket too deep to ever gate plus a breaker that can never
+// trip arm no timers, draw no randomness, and filter nothing — so the
+// wrapped run must equal the bare run decision for decision. (Retry and
+// elastic are excluded by construction: their timers consume event-key
+// sequence numbers even when they never fire.)
+func TestTransparentPoliciesAreByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 3, 5} {
+		bare := Generate(seed)
+		bare.Policies = nil
+		wrapped := bare
+		wrapped.Policies = &policy.Config{
+			Bucket:  &policy.BucketConfig{Rate: 1e9, Burst: 1e9},
+			Breaker: &policy.BreakerConfig{TripAfter: 1 << 30, Cooldown: 1},
+		}
+		a, aStats := runLogged(bare, Builder(bare), 1)
+		b, bStats := runLogged(wrapped, Builder(wrapped), 1)
+		if i, why := check.CompareLogs(a, b); why != "" {
+			t.Errorf("seed %d: transparent policies changed behaviour at %d: %s", seed, i, why)
+		}
+		if aStats != bStats {
+			t.Errorf("seed %d: transparent policies changed stats:\n bare    %+v\n wrapped %+v",
+				seed, aStats, bStats)
+		}
+	}
+}
+
+// TestPolicyDifferentialHoldsUnderRetry: the fast/reference differential
+// must stay exact with the full default stack forced on — both twins are
+// wrapped identically, so retries, suppressions, and resizes happen at
+// the same instants in both.
+func TestPolicyDifferentialHoldsUnderRetry(t *testing.T) {
+	for _, seed := range []int64{1, 2, 4, 7} {
+		s := Generate(seed)
+		cfg := policy.DefaultStack()
+		cfg.Seed = uint64(seed)
+		s.Policies = &cfg
+		if why, ok := Differential(s); !ok {
+			t.Errorf("seed %d: differential diverges with the default stack: %s", seed, why)
+		}
+	}
+}
+
+func TestShrinkDropsPolicies(t *testing.T) {
+	var s Scenario
+	found := false
+	for _, seed := range policySeeds(60) {
+		s = Generate(seed)
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no policy-carrying seed")
+	}
+	shrunk := Shrink(s, func(Scenario) bool { return true })
+	if shrunk.Policies != nil {
+		t.Fatalf("shrinking with an always-failing predicate kept the policies: %s", shrunk.JSON())
+	}
+
+	// The per-policy sub-steps must clone, not mutate through the shared
+	// pointer: shrink a copy, then re-verify the original still decodes
+	// to its pre-shrink form.
+	before := s.JSON()
+	_ = Shrink(s, func(c Scenario) bool { return c.Policies != nil && c.Policies.Bucket != nil })
+	if s.JSON() != before {
+		t.Fatal("shrinking mutated the original scenario through the Policies pointer")
+	}
+}
+
+func TestValidateRejectsBadPolicies(t *testing.T) {
+	s := Generate(1)
+	s.Policies = &policy.Config{Bucket: &policy.BucketConfig{Rate: -1, Burst: 2}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("scenario with a negative bucket rate validated")
+	}
+}

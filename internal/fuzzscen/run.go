@@ -13,19 +13,20 @@ import (
 	"realtor/internal/core"
 	"realtor/internal/engine"
 	"realtor/internal/metrics"
+	"realtor/internal/policy"
 	"realtor/internal/protocol"
 )
 
 // Builder returns the honest fast-path protocol builder for a scenario.
 func Builder(s Scenario) engine.Builder {
 	cfg := s.ProtocolConfig()
-	return func() protocol.Discovery { return core.New(cfg) }
+	return wrapPolicies(s, func() protocol.Discovery { return core.New(cfg) })
 }
 
 // ReferenceBuilder returns the slow reference twin's builder.
 func ReferenceBuilder(s Scenario) engine.Builder {
 	cfg := s.ProtocolConfig()
-	return func() protocol.Discovery { return check.NewReference(cfg) }
+	return wrapPolicies(s, func() protocol.Discovery { return check.NewReference(cfg) })
 }
 
 // MutantBuilder returns the soft-state-expiry mutant's builder — the
@@ -33,7 +34,31 @@ func ReferenceBuilder(s Scenario) engine.Builder {
 // protocol defects.
 func MutantBuilder(s Scenario) engine.Builder {
 	cfg := s.ProtocolConfig()
-	return func() protocol.Discovery { return check.NewStaleRealtor(cfg) }
+	return wrapPolicies(s, func() protocol.Discovery { return check.NewStaleRealtor(cfg) })
+}
+
+// BrokenBreakerBuilder returns the honest protocol wrapped in the
+// deliberately miswired breaker stack (policy.NewBrokenBreaker) — the
+// seeded policy-layer mutant the I10 audit must catch (`make
+// policy-smoke`). The scenario's own policy config, if any, is kept;
+// its breaker is forced on with an eager trip threshold.
+func BrokenBreakerBuilder(s Scenario) engine.Builder {
+	cfg := s.ProtocolConfig()
+	var pc policy.Config
+	if s.Policies != nil {
+		pc = *s.Policies
+	}
+	return policy.NewBrokenBreaker(pc, func() protocol.Discovery { return core.New(cfg) })
+}
+
+// wrapPolicies interposes the scenario's policy middleware, identically
+// for every builder, so differential pairs stay exactly comparable with
+// policies active.
+func wrapPolicies(s Scenario, build engine.Builder) engine.Builder {
+	if s.Policies == nil {
+		return build
+	}
+	return policy.New(*s.Policies, build)
 }
 
 // Differential replays the scenario through core.Realtor and through

@@ -18,6 +18,7 @@ import (
 
 	"realtor/internal/attack"
 	"realtor/internal/engine"
+	"realtor/internal/policy"
 	"realtor/internal/protocol"
 	"realtor/internal/rng"
 	"realtor/internal/sim"
@@ -93,6 +94,12 @@ type Scenario struct {
 	MeanSize float64 `json:"mean_size"`
 	WorkSeed int64   `json:"work_seed"`
 
+	// Policies optionally wraps every protocol instance (fast path,
+	// reference, and mutant alike — the differential stays exact with
+	// policies active) in the traffic-protection middleware of
+	// internal/policy. Nil runs bare.
+	Policies *policy.Config `json:"policies,omitempty"`
+
 	// Events is the fault schedule.
 	Events []Event `json:"events,omitempty"`
 }
@@ -120,6 +127,11 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("fuzzscen: threshold %v", s.Threshold)
 	case s.Lambda <= 0 || s.MeanSize <= 0:
 		return fmt.Errorf("fuzzscen: workload lambda=%v meanSize=%v", s.Lambda, s.MeanSize)
+	}
+	if s.Policies != nil {
+		if err := s.Policies.Validate(); err != nil {
+			return fmt.Errorf("fuzzscen: %w", err)
+		}
 	}
 	n := s.Nodes()
 	for i, ev := range s.Events {

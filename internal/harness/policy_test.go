@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"testing"
+
+	"realtor/internal/fuzzscen"
+	"realtor/internal/policy"
+)
+
+// withStack forces the full default policy stack onto a scenario.
+func withStack(s fuzzscen.Scenario) fuzzscen.Scenario {
+	cfg := policy.DefaultStack()
+	cfg.Seed = uint64(s.Seed)
+	s.Policies = &cfg
+	return s
+}
+
+// TestSimPolicyStackIsOracleClean sweeps the generated scenarios with
+// all four policies forced on: the oracle — I1–I8 through the stack's
+// state forwarding plus the policy invariants I9–I11 — must stay
+// silent on every one.
+func TestSimPolicyStackIsOracleClean(t *testing.T) {
+	for seed := int64(1); seed <= smokeSeeds; seed++ {
+		s := withStack(fuzzscen.Generate(seed))
+		out, err := RunChecked(Sim(), s, fuzzscen.Builder(s))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Failed() {
+			t.Errorf("seed %d: %d violations, first: %s\n%s",
+				seed, len(out.Violations), out.Violations[0], s.JSON())
+		}
+	}
+}
+
+// TestSimBrokenBreakerIsCaughtAndShrinks is mutation testing for the
+// policy layer: the miswired breaker (trips straight to half-open
+// without recording transitions, never filters) must trip the I10 audit
+// on some generated scenario, and the shrunk counterexample must still
+// fail via I10.
+func TestSimBrokenBreakerIsCaughtAndShrinks(t *testing.T) {
+	failsI10 := func(s fuzzscen.Scenario) bool {
+		out, err := RunChecked(Sim(), s, fuzzscen.BrokenBreakerBuilder(s))
+		if err != nil {
+			return false
+		}
+		for _, v := range out.Violations {
+			if v.Invariant == "I10-breaker-legality" {
+				return true
+			}
+		}
+		return false
+	}
+	var caught *fuzzscen.Scenario
+	for seed := int64(1); seed <= 80; seed++ {
+		s := fuzzscen.Generate(seed)
+		if failsI10(s) {
+			caught = &s
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatal("80 seeds never tripped I10 on the broken breaker; the audit has no teeth")
+	}
+	shrunk := fuzzscen.Shrink(*caught, failsI10)
+	if !failsI10(shrunk) {
+		t.Fatalf("shrunk scenario no longer trips I10:\n%s", shrunk.JSON())
+	}
+	if len(shrunk.Events) > len(caught.Events) || shrunk.Duration > caught.Duration {
+		t.Fatalf("shrinking grew the counterexample:\n was %s\n got %s",
+			caught.JSON(), shrunk.JSON())
+	}
+}
+
+// TestLivePolicyStackIsOracleClean runs the full stack on the
+// goroutine-per-host cluster: policy hooks execute on each host's actor
+// loop, so under -race this doubles as the half-open probe race check —
+// concurrent hosts probing each other's breakers must never race on
+// stack state.
+func TestLivePolicyStackIsOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sweep")
+	}
+	be := Live(testLiveCfg())
+	for seed := int64(1); seed <= 8; seed++ {
+		s := withStack(fuzzscen.Generate(seed))
+		out, err := RunChecked(be, s, fuzzscen.Builder(s))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Failed() {
+			t.Errorf("seed %d: %d violations (+%d dropped), first: %s\n%s",
+				seed, len(out.Violations), out.Dropped, out.Violations[0], s.JSON())
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"sort"
+
+	"realtor/internal/protocol"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// breaker wraps a per-target circuit breaker around migration attempts,
+// aimed at flapping pledgers: a host that pledges headroom and then
+// dies mid-migration burns a one-try migration every time it is
+// believed. TripAfter consecutive failures to the same target open its
+// breaker; while open (and cooling) the target is filtered out of every
+// candidate list the inner protocol produces. After Cooldown seconds
+// the breaker turns half-open on the next sighting and admits exactly
+// one probe; the probe's outcome re-closes (success) or re-opens
+// (failure) the breaker. Any success closes the breaker outright.
+//
+// The `broken` flag is the seeded mutant for the oracle's I10 catch
+// (see mutant.go): it trips straight to half-open without recording the
+// transitions and never filters, which violates the counter relations
+// the oracle checks (HalfOpen state with zero recorded half-opens).
+type breaker struct {
+	Base
+	cfg    BreakerConfig
+	ctx    Context
+	broken bool
+
+	targets map[topology.NodeID]*breakerEntry
+}
+
+// breakerEntry is one target's state machine plus the monotone audit
+// counters backing invariant I10.
+type breakerEntry struct {
+	state    BreakerState
+	failures int      // consecutive failures while closed
+	until    sim.Time // open: cooldown expiry
+	probing  bool     // half-open: the single allowed probe is outstanding
+
+	trips     uint64
+	halfOpens uint64
+	probes    uint64
+}
+
+func (b *breaker) Name() string { return "breaker" }
+
+// Bind implements Policy.
+func (b *breaker) Bind(ctx Context) {
+	b.ctx = ctx
+	b.targets = make(map[topology.NodeID]*breakerEntry)
+}
+
+// Candidates implements Policy: drop cooling-open targets, admit one
+// probe per half-open period. The open→half-open transition is lazy —
+// it happens the first time a cooled-down target is offered again.
+func (b *breaker) Candidates(cands []protocol.Candidate, _ float64) []protocol.Candidate {
+	if b.broken {
+		// Mutant: forgets to filter entirely.
+		return cands
+	}
+	now := b.ctx.Env.Now()
+	k := 0
+	for _, c := range cands {
+		e := b.targets[c.ID]
+		if e == nil || e.state == Closed {
+			cands[k] = c
+			k++
+			continue
+		}
+		if e.state == Open {
+			if now < e.until {
+				continue // cooling: filtered
+			}
+			e.state = HalfOpen
+			e.halfOpens++
+			e.probing = false
+		}
+		// Half-open: admit exactly one probe; filter while the probe's
+		// outcome is outstanding.
+		if e.probing {
+			continue
+		}
+		e.probing = true
+		e.probes++
+		cands[k] = c
+		k++
+	}
+	return cands[:k]
+}
+
+// OnOutcome implements Policy.
+func (b *breaker) OnOutcome(target topology.NodeID, _ float64, success bool) {
+	e := b.targets[target]
+	if success {
+		if e != nil {
+			e.state = Closed
+			e.failures = 0
+			e.probing = false
+		}
+		return
+	}
+	if e == nil {
+		e = &breakerEntry{}
+		b.targets[target] = e
+	}
+	now := b.ctx.Env.Now()
+	switch e.state {
+	case HalfOpen:
+		// The probe failed (or the mutant landed here): re-open.
+		e.probing = false
+		e.failures = 0
+		b.trip(e, now)
+	case Closed:
+		e.failures++
+		if e.failures >= b.cfg.TripAfter {
+			e.failures = 0
+			b.trip(e, now)
+		}
+	case Open:
+		// A straggler outcome while cooling (a second in-flight try
+		// resolved late): restart the cooldown, it is fresh evidence.
+		e.until = now + b.cfg.Cooldown
+	}
+}
+
+// trip opens the breaker. The mutant variant skips to half-open without
+// recording the trip — the bug the oracle must catch.
+func (b *breaker) trip(e *breakerEntry, now sim.Time) {
+	if b.broken {
+		e.state = HalfOpen
+		return
+	}
+	e.trips++
+	e.state = Open
+	e.until = now + b.cfg.Cooldown
+}
+
+// each visits snapshots in ascending target order. A cooled-down open
+// breaker is reported as open with its (past) expiry — the lazy
+// half-open transition is a candidate-path effect, not an audit one.
+func (b *breaker) each(now sim.Time, fn func(BreakerSnapshot) bool) {
+	ids := make([]topology.NodeID, 0, len(b.targets))
+	for id := range b.targets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := b.targets[id]
+		if !fn(BreakerSnapshot{
+			Target:    id,
+			State:     e.state,
+			Until:     e.until,
+			Trips:     e.trips,
+			HalfOpens: e.halfOpens,
+			Probes:    e.probes,
+		}) {
+			return
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package policy
+
+import "realtor/internal/protocol"
+
+// NewBrokenBreaker wraps a Discovery builder like New, but with the
+// breaker deliberately miswired: on a trip it jumps straight to
+// half-open without recording the trip or the open→half-open
+// transition, and it never filters candidate lists. This is the seeded
+// mutant behind `make policy-smoke`: a correct I10 audit must flag it
+// (a target sitting in half-open with zero recorded half-open
+// transitions is unreachable through the legal state machine) on any
+// run where some pledger accumulates TripAfter consecutive failures.
+// The config must enable the breaker.
+func NewBrokenBreaker(cfg Config, build func() protocol.Discovery) func() protocol.Discovery {
+	if cfg.Breaker == nil {
+		b := DefaultBreaker()
+		b.TripAfter = 1 // trip eagerly so short fuzz scenarios reach the bug
+		cfg.Breaker = b
+	}
+	return func() protocol.Discovery {
+		d := Wrap(cfg, build())
+		switch s := d.(type) {
+		case *Stack:
+			s.breaker.broken = true
+		case *stateStack:
+			s.breaker.broken = true
+		}
+		return d
+	}
+}

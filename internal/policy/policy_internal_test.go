@@ -1,0 +1,444 @@
+// White-box tests of the individual policies and their composition,
+// driven through a scripted protocoltest.FakeEnv so the tests control
+// the clock and observe every emission. Timing assertions run with
+// Jitter = 0; the jitter determinism contract has its own test.
+package policy
+
+import (
+	"testing"
+
+	"realtor/internal/protocol"
+	"realtor/internal/protocol/protocoltest"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+)
+
+// fakeInner is a minimal Discovery: it records what reaches it and lets
+// tests flood through whatever Env the stack handed it.
+type fakeInner struct {
+	env       protocol.Env
+	cands     []protocol.Candidate
+	delivered []protocol.Message
+	deaths    int
+}
+
+func (f *fakeInner) Name() string            { return "fake" }
+func (f *fakeInner) Attach(env protocol.Env) { f.env = env }
+func (f *fakeInner) OnArrival(float64)       {}
+func (f *fakeInner) OnUsageCrossing(bool)    {}
+func (f *fakeInner) Deliver(m protocol.Message) {
+	f.delivered = append(f.delivered, m)
+}
+func (f *fakeInner) Candidates(float64) []protocol.Candidate {
+	return append([]protocol.Candidate(nil), f.cands...)
+}
+func (f *fakeInner) OnMigrationOutcome(topology.NodeID, float64, bool) {}
+func (f *fakeInner) OnNodeDeath()                                      { f.deaths++ }
+
+// attach wires cfg's stack around a fakeInner on a fresh FakeEnv.
+func attach(t *testing.T, cfg Config, env protocol.Env) (*fakeInner, *Stack) {
+	t.Helper()
+	inner := &fakeInner{}
+	d := Wrap(cfg, inner)
+	d.Attach(env)
+	s, ok := d.(*Stack)
+	if !ok {
+		t.Fatalf("Wrap returned %T, want *Stack for a stateless inner", d)
+	}
+	return inner, s
+}
+
+func help() protocol.Message { return protocol.Message{Kind: protocol.Help, Demand: 1} }
+
+func TestBucketGatesHelpFloods(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, _ := attach(t, Config{Bucket: &BucketConfig{Rate: 0.5, Burst: 2}}, env)
+
+	for i := 0; i < 3; i++ {
+		inner.env.Flood(help())
+	}
+	if got := len(env.Floods(protocol.Help)); got != 2 {
+		t.Fatalf("burst of 3 floods: %d passed, want the 2 the bucket held", got)
+	}
+
+	// Refill boundary: exactly one token accrues over 2 s at rate 0.5.
+	env.Advance(2)
+	inner.env.Flood(help())
+	if got := len(env.Floods(protocol.Help)); got != 3 {
+		t.Fatalf("flood at the exact refill boundary suppressed (%d passed)", got)
+	}
+
+	// Just short of a token: 1.9 s × 0.5 = 0.95.
+	env.Advance(1.9)
+	inner.env.Flood(help())
+	if got := len(env.Floods(protocol.Help)); got != 3 {
+		t.Fatalf("flood with 0.95 tokens passed (%d total)", got)
+	}
+	env.Advance(0.1)
+	inner.env.Flood(help())
+	if got := len(env.Floods(protocol.Help)); got != 4 {
+		t.Fatalf("flood after topping up to 1.0 tokens suppressed (%d total)", got)
+	}
+
+	// Non-HELP floods bypass the bucket entirely.
+	inner.env.Flood(protocol.Message{Kind: protocol.Advert})
+	if got := len(env.Floods(protocol.Advert)); got != 1 {
+		t.Fatalf("ADVERT flood gated by the HELP bucket (%d passed)", got)
+	}
+}
+
+func TestBucketRefillCapsAtBurst(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, _ := attach(t, Config{Bucket: &BucketConfig{Rate: 1, Burst: 3}}, env)
+
+	env.Advance(1000) // far more than Burst/Rate
+	for i := 0; i < 5; i++ {
+		inner.env.Flood(help())
+	}
+	if got := len(env.Floods(protocol.Help)); got != 3 {
+		t.Fatalf("after a long idle %d floods passed, want the burst cap 3", got)
+	}
+}
+
+// TestBreakerStateMachine walks the legal transition graph step by step:
+// closed → open on the TripAfter'th consecutive failure, open →
+// half-open lazily after the cooldown, exactly one probe per half-open
+// period, probe outcome closing or re-opening.
+func TestBreakerStateMachine(t *testing.T) {
+	const target = topology.NodeID(2)
+	env := protocoltest.New(1, 10)
+	inner, s := attach(t, Config{Breaker: &BreakerConfig{TripAfter: 2, Cooldown: 10}}, env)
+	inner.cands = []protocol.Candidate{{ID: target, Headroom: 5}}
+
+	offered := func() bool { return len(s.Candidates(1)) == 1 }
+	snap := func() BreakerSnapshot {
+		var got BreakerSnapshot
+		found := false
+		s.EachBreaker(env.Now(), func(b BreakerSnapshot) bool {
+			if b.Target == target {
+				got, found = b, true
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("t=%v: no snapshot for target %d", env.Now(), target)
+		}
+		return got
+	}
+
+	steps := []struct {
+		name    string
+		do      func()
+		offer   bool         // candidate visible after the step?
+		state   BreakerState // expected snapshot state (checked when a snapshot exists)
+		hasSnap bool
+	}{
+		{"first failure stays closed", func() { s.OnMigrationOutcome(target, 1, false) }, true, Closed, true},
+		{"second failure trips open", func() { s.OnMigrationOutcome(target, 1, false) }, false, Open, true},
+		{"still cooling at 9.9s", func() { env.Advance(9.9) }, false, Open, true},
+		{"cooldown expiry admits one probe", func() { env.Advance(0.1) }, true, HalfOpen, true},
+		{"second offer while probing filtered", func() {}, false, HalfOpen, true},
+		{"probe success closes", func() { s.OnMigrationOutcome(target, 1, true) }, true, Closed, true},
+		{"single failure after close stays closed", func() { s.OnMigrationOutcome(target, 1, false) }, true, Closed, true},
+		{"second failure trips again", func() { s.OnMigrationOutcome(target, 1, false) }, false, Open, true},
+		{"probe failure re-opens", func() {
+			env.Advance(10)
+			if !offered() { // consume the probe
+				t.Fatal("cooled-down breaker refused the probe")
+			}
+			s.OnMigrationOutcome(target, 1, false)
+		}, false, Open, true},
+	}
+	for _, st := range steps {
+		st.do()
+		if got := offered(); got != st.offer {
+			t.Fatalf("%s: offered=%v, want %v", st.name, got, st.offer)
+		}
+		if st.hasSnap {
+			if got := snap(); got.State != st.state {
+				t.Fatalf("%s: state %v, want %v", st.name, got.State, st.state)
+			}
+		}
+	}
+
+	// Counter relations (the substance of invariant I10) after the walk:
+	// 3 trips, 2 half-open periods, one probe each.
+	b := snap()
+	if b.Trips != 3 || b.HalfOpens != 2 || b.Probes != 2 {
+		t.Fatalf("counters trips=%d halfOpens=%d probes=%d, want 3/2/2", b.Trips, b.HalfOpens, b.Probes)
+	}
+	if b.HalfOpens > b.Trips || b.Probes > b.HalfOpens {
+		t.Fatalf("counter relations violated: %+v", b)
+	}
+}
+
+func TestBreakerStragglerOutcomeExtendsCooldown(t *testing.T) {
+	const target = topology.NodeID(3)
+	env := protocoltest.New(1, 10)
+	inner, s := attach(t, Config{Breaker: &BreakerConfig{TripAfter: 1, Cooldown: 10}}, env)
+	inner.cands = []protocol.Candidate{{ID: target}}
+
+	s.OnMigrationOutcome(target, 1, false) // trips at t=0, until=10
+	env.Advance(5)
+	s.OnMigrationOutcome(target, 1, false) // straggler: until=15
+	env.Advance(6)                         // t=11: old expiry passed, new one not
+	if len(s.Candidates(1)) != 0 {
+		t.Fatal("straggler failure did not extend the cooldown")
+	}
+	env.Advance(4) // t=15: extended cooldown over
+	if len(s.Candidates(1)) != 1 {
+		t.Fatal("extended cooldown never expired")
+	}
+}
+
+func TestBreakerSuccessClearsUnknownTargetSilently(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	_, s := attach(t, Config{Breaker: &BreakerConfig{TripAfter: 2, Cooldown: 10}}, env)
+	s.OnMigrationOutcome(7, 1, true) // no entry: must not create one
+	n := 0
+	s.EachBreaker(env.Now(), func(BreakerSnapshot) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("success against an untracked target materialized %d entries", n)
+	}
+}
+
+func TestRetryBackoffSchedules(t *testing.T) {
+	cases := []struct {
+		strategy string
+		want     []sim.Time // flood instants for MaxAttempts=4, Base=2
+	}{
+		{StrategyExp, []sim.Time{0, 2, 6, 14}},
+		{StrategyLinear, []sim.Time{0, 2, 6, 12}},
+		{StrategyConst, []sim.Time{0, 2, 4, 6}},
+	}
+	for _, c := range cases {
+		t.Run(c.strategy, func(t *testing.T) {
+			env := protocoltest.New(1, 10)
+			inner, _ := attach(t, Config{Retry: &RetryConfig{
+				MaxAttempts: 4, Base: 2, Strategy: c.strategy, Jitter: 0,
+			}}, env)
+			inner.env.Flood(help())
+			env.Advance(100)
+			fl := env.Floods(protocol.Help)
+			if len(fl) != len(c.want) {
+				t.Fatalf("%d floods, want %d", len(fl), len(c.want))
+			}
+			for i, s := range fl {
+				if s.At != c.want[i] {
+					t.Fatalf("flood %d at t=%v, want %v (schedule %v)", i, s.At, c.want[i], c.want)
+				}
+				if wantReissue := i > 0; s.Msg.Reissue != wantReissue {
+					t.Fatalf("flood %d Reissue=%v", i, s.Msg.Reissue)
+				}
+			}
+		})
+	}
+}
+
+func TestRetryCancelledByPledge(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, s := attach(t, Config{Retry: &RetryConfig{
+		MaxAttempts: 3, Base: 2, Strategy: StrategyConst, Jitter: 0,
+	}}, env)
+	inner.env.Flood(help())
+	env.Advance(1)
+	s.Deliver(protocol.Message{Kind: protocol.Pledge, From: 2, Headroom: 3})
+	env.Advance(50)
+	if got := len(env.Floods(protocol.Help)); got != 1 {
+		t.Fatalf("%d HELP floods after a pledge landed, want just the original", got)
+	}
+	if len(inner.delivered) != 1 {
+		t.Fatalf("pledge did not reach the inner protocol (delivered %d)", len(inner.delivered))
+	}
+}
+
+func TestRetryNewerHelpSupersedes(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, _ := attach(t, Config{Retry: &RetryConfig{
+		MaxAttempts: 2, Base: 2, Strategy: StrategyConst, Jitter: 0,
+	}}, env)
+	inner.env.Flood(protocol.Message{Kind: protocol.Help, Demand: 1})
+	env.Advance(1)
+	inner.env.Flood(protocol.Message{Kind: protocol.Help, Demand: 9})
+	env.Advance(50)
+	fl := env.Floods(protocol.Help)
+	if len(fl) != 3 {
+		t.Fatalf("%d floods, want 2 originals + 1 reissue", len(fl))
+	}
+	last := fl[2]
+	if !last.Msg.Reissue || last.Msg.Demand != 9 {
+		t.Fatalf("reissue carried demand %v (reissue=%v), want the fresher 9", last.Msg.Demand, last.Msg.Reissue)
+	}
+	if last.At != 3 { // superseded at t=1, const backoff 2
+		t.Fatalf("reissue at t=%v, want 3 (re-armed by the newer HELP)", last.At)
+	}
+}
+
+func TestRetryJitterIsDeterministicPerSeedAndNode(t *testing.T) {
+	run := func(seed uint64, node topology.NodeID) []sim.Time {
+		env := protocoltest.New(node, 10)
+		inner, _ := attach(t, Config{Seed: seed, Retry: &RetryConfig{
+			MaxAttempts: 3, Base: 2, Strategy: StrategyExp, Jitter: 0.4,
+		}}, env)
+		inner.env.Flood(help())
+		env.Advance(100)
+		var at []sim.Time
+		for _, s := range env.Floods(protocol.Help) {
+			at = append(at, s.At)
+		}
+		return at
+	}
+	a, b := run(7, 1), run(7, 1)
+	if len(a) != 3 {
+		t.Fatalf("%d floods, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed and node drew different schedules: %v vs %v", a, b)
+		}
+	}
+	c := run(7, 2)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatalf("nodes 1 and 2 drew identical jitter schedules %v; per-node streams are not salted", a)
+	}
+}
+
+// scalerEnv is a FakeEnv that accepts capacity resizes, recording each.
+type scalerEnv struct {
+	*protocoltest.FakeEnv
+	applied []float64
+}
+
+func (s *scalerEnv) SetCapacity(c float64) bool {
+	s.Cap = c
+	s.applied = append(s.applied, c)
+	return true
+}
+
+func TestElasticHysteresis(t *testing.T) {
+	env := &scalerEnv{FakeEnv: protocoltest.New(1, 10)}
+	cfg := Config{Elastic: &ElasticConfig{
+		HighWater: 0.9, LowWater: 0.5, SustainFor: 2, Factor: 2, MaxScale: 4, CheckEvery: 1,
+	}}
+	attach(t, cfg, env)
+
+	// Two sustained high samples grow 10 → 20.
+	env.Backlog = 9.5
+	env.Advance(2)
+	if len(env.applied) != 1 || env.applied[0] != 20 {
+		t.Fatalf("after 2 high samples applied=%v, want [20]", env.applied)
+	}
+
+	// Dead-band samples reset the streaks: high, dead, high must not grow.
+	env.Backlog = 19 // usage 0.95 of 20
+	env.Advance(1)
+	env.Backlog = 13 // usage 0.65: dead band
+	env.Advance(1)
+	env.Backlog = 19
+	env.Advance(1)
+	if len(env.applied) != 1 {
+		t.Fatalf("dead-band sample failed to reset the streak: applied=%v", env.applied)
+	}
+
+	// Two sustained low samples shrink back toward (and floor at) base.
+	env.Backlog = 2 // usage 0.1 of 20
+	env.Advance(2)
+	if len(env.applied) != 2 || env.applied[1] != 10 {
+		t.Fatalf("after 2 low samples applied=%v, want [20 10]", env.applied)
+	}
+	env.Advance(2) // still low, but already at the base-capacity floor
+	if len(env.applied) != 2 {
+		t.Fatalf("shrink went below the attach-time base: applied=%v", env.applied)
+	}
+}
+
+func TestElasticCapsAtMaxScale(t *testing.T) {
+	env := &scalerEnv{FakeEnv: protocoltest.New(1, 10)}
+	attach(t, Config{Elastic: &ElasticConfig{
+		HighWater: 0.9, LowWater: 0.1, SustainFor: 1, Factor: 2, MaxScale: 4, CheckEvery: 1,
+	}}, env)
+	for i := 0; i < 6; i++ {
+		env.Backlog = env.Cap * 0.95
+		env.Advance(1)
+	}
+	want := []float64{20, 40}
+	if len(env.applied) != len(want) || env.applied[0] != 20 || env.applied[1] != 40 {
+		t.Fatalf("applied=%v, want %v then a hard stop at MaxScale×base", env.applied, want)
+	}
+}
+
+func TestElasticInertWithoutScaler(t *testing.T) {
+	env := protocoltest.New(1, 10) // plain FakeEnv: no CapacityScaler
+	inner, _ := attach(t, Config{Elastic: &ElasticConfig{
+		HighWater: 0.9, LowWater: 0.5, SustainFor: 1, Factor: 2, MaxScale: 4, CheckEvery: 1,
+	}}, env)
+	env.Backlog = 9.9
+	env.Advance(5)
+	if env.Cap != 10 {
+		t.Fatalf("capacity moved to %v on an Env that cannot resize", env.Cap)
+	}
+	_ = inner
+}
+
+// TestReissueIsBucketGatedButNotRetried pins the composition order: a
+// retry reissue re-enters the chain downstream of the retrier (so the
+// bucket can suppress it) and is never itself re-armed for retry.
+func TestReissueIsBucketGatedButNotRetried(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, s := attach(t, Config{
+		Retry:  &RetryConfig{MaxAttempts: 3, Base: 1, Strategy: StrategyConst, Jitter: 0},
+		Bucket: &BucketConfig{Rate: 0.1, Burst: 1},
+	}, env)
+	inner.env.Flood(help())
+	env.Advance(50)
+
+	if got := len(env.Floods(protocol.Help)); got != 1 {
+		t.Fatalf("%d HELP floods on the wire, want 1 (both reissues bucket-gated)", got)
+	}
+	originals, reissued, maxAttempts, enabled := s.RetryLedger()
+	if !enabled || originals != 1 || reissued != 2 || maxAttempts != 3 {
+		t.Fatalf("ledger originals=%d reissued=%d max=%d enabled=%v, want 1/2/3/true",
+			originals, reissued, maxAttempts, enabled)
+	}
+}
+
+func TestStackLifecycle(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, s := attach(t, DefaultStack(), env)
+	if got, want := s.Name(), "fake+elastic+breaker+retry+bucket"; got != want {
+		t.Fatalf("stack name %q, want %q", got, want)
+	}
+	inner.env.Flood(help())
+	s.OnNodeDeath()
+	if inner.deaths != 1 {
+		t.Fatal("death not forwarded to the inner protocol")
+	}
+	before := len(env.Outbox)
+	env.Advance(500) // all timers must be gone
+	if len(env.Outbox) != before {
+		t.Fatalf("dead stack still emitted %d messages", len(env.Outbox)-before)
+	}
+}
+
+func TestSingleAttemptRetryIsNormalizedAway(t *testing.T) {
+	env := protocoltest.New(1, 10)
+	inner, s := attach(t, Config{Retry: &RetryConfig{
+		MaxAttempts: 1, Base: 2, Strategy: StrategyExp,
+	}}, env)
+	if s.retry != nil {
+		t.Fatal("MaxAttempts=1 retrier not normalized away")
+	}
+	inner.env.Flood(help())
+	env.Advance(100)
+	if got := len(env.Floods(protocol.Help)); got != 1 {
+		t.Fatalf("%d floods, want 1", got)
+	}
+}

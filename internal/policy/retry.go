@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"realtor/internal/protocol"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+)
+
+// retrySeedSalt derives the retrier's per-purpose jitter stream from
+// the stack seed so adding another randomized policy later cannot
+// perturb retry draws (the determinism contract of DESIGN.md §11).
+const retrySeedSalt = 0x9E3779B97F4A7C15
+
+// retrier re-floods a HELP whose exchange appears lost. It watches
+// original HELP floods leaving the node; if no PLEDGE arrives within
+// the backoff delay, the stored HELP is reissued (Message.Reissue set,
+// traced "reflood-HELP") through the downstream chain — bucket-gated
+// but never re-retried — up to MaxAttempts total tries. A PLEDGE
+// delivery cancels the pending reissue: the exchange worked. A newer
+// original HELP supersedes the stored one (its payload is fresher).
+//
+// Backoff delays are deterministic: the growth schedule from the
+// config, jitter from a per-node rng.Light stream seeded from the
+// policy seed and the node ID — identical on every backend and at
+// every shard count.
+type retrier struct {
+	Base
+	cfg RetryConfig
+	ctx Context
+	jit rng.Light
+
+	timer   protocol.Timer
+	pending protocol.Message
+	attempt int // tries so far for the stored HELP (1 = original sent)
+
+	originals uint64 // original HELP floods observed
+	reissued  uint64 // reissues attempted (the bucket may still gate them)
+}
+
+func (r *retrier) Name() string { return "retry" }
+
+// Bind implements Policy.
+func (r *retrier) Bind(ctx Context) {
+	r.ctx = ctx
+	r.jit = rng.SeedLight(ctx.Seed^retrySeedSalt, uint64(ctx.Env.Self()))
+	r.timer = nil
+	r.attempt = 0
+	r.originals = 0
+	r.reissued = 0
+}
+
+// OnFlood implements Policy: arm (or re-arm) the reissue timer for
+// every original HELP passing by. Reissues re-enter the chain below
+// this policy via Emit, so m.Reissue is never seen here in practice;
+// the guard keeps a hand-built reissue from being double-retried.
+func (r *retrier) OnFlood(m protocol.Message) bool {
+	if m.Kind != protocol.Help || m.Reissue {
+		return true
+	}
+	r.originals++
+	r.pending = m
+	r.attempt = 1
+	r.arm()
+	return true
+}
+
+// OnDeliver implements Policy: a PLEDGE means the solicitation worked.
+func (r *retrier) OnDeliver(m protocol.Message) {
+	if m.Kind != protocol.Pledge || r.timer == nil {
+		return
+	}
+	r.timer.Stop()
+	r.timer = nil
+}
+
+// OnDeath implements Policy.
+func (r *retrier) OnDeath() {
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+}
+
+// arm schedules the next reissue after the current attempt's backoff.
+func (r *retrier) arm() {
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.timer = r.ctx.Env.After(r.backoff(r.attempt), r.fire)
+}
+
+// fire reissues the stored HELP and re-arms while attempts remain.
+func (r *retrier) fire() {
+	r.timer = nil
+	if r.attempt >= r.cfg.MaxAttempts {
+		return
+	}
+	r.attempt++
+	r.reissued++
+	m := r.pending
+	m.Reissue = true
+	r.ctx.Emit(m)
+	if r.attempt < r.cfg.MaxAttempts {
+		r.arm()
+	}
+}
+
+// backoff returns the jittered delay before try attempt+1.
+func (r *retrier) backoff(attempt int) sim.Time {
+	d := r.cfg.Base
+	switch r.cfg.Strategy {
+	case StrategyExp:
+		for i := 1; i < attempt; i++ {
+			d *= 2
+		}
+	case StrategyLinear:
+		d *= sim.Time(attempt)
+	case StrategyConst:
+	}
+	if r.cfg.Jitter > 0 {
+		// Symmetric jitter: d · (1 ± Jitter·u). Jitter < 1 keeps the
+		// delay positive.
+		d *= sim.Time(1 + r.cfg.Jitter*(2*r.jit.Float64()-1))
+	}
+	return d
+}

@@ -1,0 +1,204 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"realtor/internal/sim"
+)
+
+// Default parameter sets for the four policies, used by the policy
+// study (experiment.RunPolicy), the CLIs' named presets, and the fuzz
+// sweeps. The bucket alternative to Algorithm H allows a short burst of
+// solicitations then settles at one HELP every two seconds — between
+// HelpInit (1 s) and the multiplicative governor's upper limit.
+func DefaultBucket() *BucketConfig { return &BucketConfig{Rate: 0.5, Burst: 3} }
+
+// DefaultBreaker trips after two consecutive failures to one pledger
+// and cools for 30 s — shorter than the 100 s soft-state TTL, so a
+// recovered host is re-trusted before its pledges would expire anyway.
+func DefaultBreaker() *BreakerConfig { return &BreakerConfig{TripAfter: 2, Cooldown: 30} }
+
+// DefaultRetry reissues a HELP twice (3 tries total) with exponential
+// backoff from 2 s and ±20% jitter.
+func DefaultRetry() *RetryConfig {
+	return &RetryConfig{MaxAttempts: 3, Base: 2, Strategy: StrategyExp, Jitter: 0.2}
+}
+
+// DefaultElastic doubles capacity after 3 consecutive 5 s samples at
+// ≥95% usage (up to 4× the base) and halves it back down at ≤50%.
+func DefaultElastic() *ElasticConfig {
+	return &ElasticConfig{HighWater: 0.95, LowWater: 0.5, SustainFor: 3,
+		Factor: 2, MaxScale: 4, CheckEvery: 5}
+}
+
+// DefaultStack enables all four policies with their defaults.
+func DefaultStack() Config {
+	return Config{
+		Bucket:  DefaultBucket(),
+		Breaker: DefaultBreaker(),
+		Retry:   DefaultRetry(),
+		Elastic: DefaultElastic(),
+	}
+}
+
+// ParseSpec parses a CLI policy specification into a validated Config.
+// The grammar is semicolon-separated clauses, each a policy name with
+// optional comma-separated key=value parameters:
+//
+//	bucket[:rate=R,burst=B]
+//	breaker[:trip=N,cooldown=S]
+//	retry[:max=N,base=S,strategy=exp|linear|const,jitter=F]
+//	elastic[:high=F,low=F,sustain=N,factor=F,max=F,every=S]
+//	all            — every policy with defaults
+//	none           — explicitly no policies
+//	seed=N         — jitter seed (top level)
+//
+// Examples: "bucket", "all", "bucket:rate=0.25;breaker:trip=3".
+// Unknown policy names, unknown keys, and out-of-range values are
+// rejected.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, params := clause, ""
+		if i := strings.IndexByte(clause, ':'); i >= 0 {
+			name, params = clause[:i], clause[i+1:]
+		}
+		name = strings.TrimSpace(name)
+		// A bare key=value clause is a top-level setting (seed).
+		if strings.IndexByte(name, '=') >= 0 {
+			k, v, _ := strings.Cut(name, "=")
+			if strings.TrimSpace(k) != "seed" {
+				return cfg, fmt.Errorf("policy: unknown setting %q in spec", k)
+			}
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("policy: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+			continue
+		}
+		var err error
+		switch name {
+		case "all", "stack":
+			all := DefaultStack()
+			cfg.Bucket, cfg.Breaker, cfg.Retry, cfg.Elastic =
+				all.Bucket, all.Breaker, all.Retry, all.Elastic
+		case "none", "off":
+			cfg.Bucket, cfg.Breaker, cfg.Retry, cfg.Elastic = nil, nil, nil, nil
+		case "bucket":
+			b := DefaultBucket()
+			err = applyParams(params, map[string]func(string) error{
+				"rate":  floatField(&b.Rate),
+				"burst": floatField(&b.Burst),
+			})
+			cfg.Bucket = b
+		case "breaker":
+			b := DefaultBreaker()
+			err = applyParams(params, map[string]func(string) error{
+				"trip":     intField(&b.TripAfter),
+				"cooldown": timeField(&b.Cooldown),
+			})
+			cfg.Breaker = b
+		case "retry":
+			r := DefaultRetry()
+			err = applyParams(params, map[string]func(string) error{
+				"max":      intField(&r.MaxAttempts),
+				"base":     timeField(&r.Base),
+				"strategy": stringField(&r.Strategy),
+				"jitter":   floatField(&r.Jitter),
+			})
+			cfg.Retry = r
+		case "elastic":
+			e := DefaultElastic()
+			err = applyParams(params, map[string]func(string) error{
+				"high":    floatField(&e.HighWater),
+				"low":     floatField(&e.LowWater),
+				"sustain": intField(&e.SustainFor),
+				"factor":  floatField(&e.Factor),
+				"max":     floatField(&e.MaxScale),
+				"every":   timeField(&e.CheckEvery),
+			})
+			cfg.Elastic = e
+		default:
+			return cfg, fmt.Errorf("policy: unknown policy name %q (want bucket, breaker, retry, elastic, all, or none)", name)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("policy: %s: %v", name, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// applyParams runs each key=value pair through its field setter.
+func applyParams(params string, fields map[string]func(string) error) error {
+	if strings.TrimSpace(params) == "" {
+		return nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fmt.Errorf("malformed parameter %q (want key=value)", kv)
+		}
+		set, known := fields[strings.TrimSpace(k)]
+		if !known {
+			return fmt.Errorf("unknown parameter %q", k)
+		}
+		if err := set(strings.TrimSpace(v)); err != nil {
+			return fmt.Errorf("parameter %s: %v", k, err)
+		}
+	}
+	return nil
+}
+
+func floatField(p *float64) func(string) error {
+	return func(s string) error {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+}
+
+func intField(p *int) func(string) error {
+	return func(s string) error {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+}
+
+func timeField(p *sim.Time) func(string) error {
+	return func(s string) error {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		*p = sim.Time(v)
+		return nil
+	}
+}
+
+func stringField(p *string) func(string) error {
+	return func(s string) error {
+		*p = s
+		return nil
+	}
+}

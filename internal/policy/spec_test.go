@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecValid(t *testing.T) {
+	cases := []struct {
+		spec string
+		tag  string
+	}{
+		{"", "none"},
+		{"none", "none"},
+		{"off", "none"},
+		{"bucket", "bucket"},
+		{"all", "elastic+breaker+retry+bucket"},
+		{"stack", "elastic+breaker+retry+bucket"},
+		{"bucket;retry", "retry+bucket"},
+		{"bucket:rate=0.25,burst=2;breaker:trip=3", "breaker+bucket"},
+		{"seed=7;retry:strategy=linear,max=5", "retry"},
+		{" elastic : high=0.9 , low=0.4 ", "elastic"},
+	}
+	for _, c := range cases {
+		cfg, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got := cfg.Tag(); got != c.tag {
+			t.Errorf("ParseSpec(%q).Tag() = %q, want %q", c.spec, got, c.tag)
+		}
+	}
+
+	cfg, err := ParseSpec("seed=9;bucket:rate=0.25,burst=2;retry:max=5,base=1.5,strategy=linear,jitter=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case cfg.Seed != 9:
+		t.Errorf("seed %d", cfg.Seed)
+	case cfg.Bucket.Rate != 0.25 || cfg.Bucket.Burst != 2:
+		t.Errorf("bucket %+v", cfg.Bucket)
+	case cfg.Retry.MaxAttempts != 5 || cfg.Retry.Base != 1.5 ||
+		cfg.Retry.Strategy != StrategyLinear || cfg.Retry.Jitter != 0.1:
+		t.Errorf("retry %+v", cfg.Retry)
+	}
+}
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"bogus", "unknown policy name"},
+		{"bucket:frob=1", "unknown parameter"},
+		{"bucket:rate", "malformed parameter"},
+		{"bucket:rate=abc", "parameter rate"},
+		{"bucket:rate=-1", "must be positive"},
+		{"bucket:burst=0.5", "at least 1 token"},
+		{"breaker:trip=0", "at least 1"},
+		{"breaker:cooldown=-2", "must be positive"},
+		{"retry:strategy=fib", "unknown retry strategy"},
+		{"retry:jitter=1", "outside [0,1)"},
+		{"retry:max=0", "at least 1"},
+		{"elastic:low=0.9,high=0.5", "watermarks"},
+		{"elastic:factor=1", "must exceed 1"},
+		{"elastic:every=0", "must be positive"},
+		{"seed=x", "bad seed"},
+		{"depth=3", "unknown setting"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q) error %q, want substring %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	bad := []Config{
+		{Bucket: &BucketConfig{Rate: 0, Burst: 2}},
+		{Bucket: &BucketConfig{Rate: 1, Burst: 0}},
+		{Breaker: &BreakerConfig{TripAfter: 0, Cooldown: 1}},
+		{Breaker: &BreakerConfig{TripAfter: 1, Cooldown: 0}},
+		{Retry: &RetryConfig{MaxAttempts: 0, Base: 1, Strategy: StrategyExp}},
+		{Retry: &RetryConfig{MaxAttempts: 2, Base: 0, Strategy: StrategyExp}},
+		{Retry: &RetryConfig{MaxAttempts: 2, Base: 1, Strategy: "warp"}},
+		{Retry: &RetryConfig{MaxAttempts: 2, Base: 1, Strategy: StrategyExp, Jitter: -0.1}},
+		{Elastic: &ElasticConfig{HighWater: 0.5, LowWater: 0.9, SustainFor: 1, Factor: 2, MaxScale: 2, CheckEvery: 1}},
+		{Elastic: &ElasticConfig{HighWater: 0.9, LowWater: 0.5, SustainFor: 0, Factor: 2, MaxScale: 2, CheckEvery: 1}},
+		{Elastic: &ElasticConfig{HighWater: 0.9, LowWater: 0.5, SustainFor: 1, Factor: 2, MaxScale: 0.5, CheckEvery: 1}},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d (%s) validated: %+v", i, cfg.Tag(), cfg)
+		}
+	}
+	if err := DefaultStack().Validate(); err != nil {
+		t.Errorf("DefaultStack invalid: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Error("empty config reports enabled")
+	}
+	if !DefaultStack().Enabled() {
+		t.Error("full stack reports disabled")
+	}
+}

@@ -66,6 +66,12 @@ type Message struct {
 	Grant       float64     // PLEDGE: probability of granting when asked
 	Reply       bool        // GOSSIP: this exchange answers a previous one
 	View        []Candidate // GOSSIP: batched availability entries
+
+	// Reissue marks a policy-layer retry of an earlier flood. The
+	// backends trace reissued floods as "reflood-<KIND>" instead of
+	// "flood-<KIND>" so rate invariants on original emissions (I1, I9)
+	// skip them while the retry ledger (I11) counts them.
+	Reissue bool
 }
 
 // Candidate is one entry of a node's availability list: a host believed
@@ -328,6 +334,17 @@ type Env interface {
 	// After schedules fn to run d seconds from now on this node. The
 	// callback is suppressed if the node dies first.
 	After(d sim.Time, fn func()) Timer
+}
+
+// CapacityScaler is an optional Env extension: backends whose node
+// capacity can change mid-run (the sim engine, the live Agile runtime)
+// implement it so the elastic-capacity policy can resize the local
+// queue. SetCapacity returns false when the backend rejects the resize
+// (non-positive target, or the Env does not support scaling); the new
+// capacity is clamped so the current backlog still fits, keeping usage
+// within [0, 1].
+type CapacityScaler interface {
+	SetCapacity(c float64) bool
 }
 
 // Discovery is a resource-discovery protocol instance running on one
