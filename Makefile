@@ -1,10 +1,10 @@
 GO ?= go
-BENCH_JSON ?= BENCH_4.json
-BENCH_BASELINE ?= BENCH_3.json
+BENCH_JSON ?= BENCH_5.json
+BENCH_BASELINE ?= BENCH_4.json
 BENCH_THRESHOLD ?= 0
 PROFILE_FIG ?= 5
 
-.PHONY: all build vet fmt-check verify test race bench bench-json bench-compare profile fuzz fuzz-smoke parity-smoke shard-smoke policy-smoke cover-check results quick-results clean
+.PHONY: all build vet fmt-check verify test race bench bench-json bench-compare profile fuzz fuzz-smoke parity-smoke shard-smoke policy-smoke discovery-smoke cover-check results quick-results clean
 
 all: build vet test
 
@@ -99,6 +99,13 @@ policy-smoke:
 	$(GO) run ./cmd/realtor-fuzz -seed 1 -n 200 -policy all
 	$(GO) run ./cmd/realtor-fuzz -backend sim -shards 4 -n 50 -policy all
 	$(GO) run ./cmd/realtor-fuzz -seed 1 -n 100 -mutant-breaker
+
+# Discovery head-to-head smoke (CI gate, ~1 minute): the D1 sweep at
+# reduced mesh sizes, every cell verified byte-identical at shards
+# 1/2/4 before printing. The full-scale table (2.5k–100k nodes) is
+# results/discovery.txt, regenerated with `realtor-sim -fig discovery`.
+discovery-smoke:
+	$(GO) run ./cmd/realtor-sim -fig discovery-smoke > /dev/null
 
 # Sim/live parity smoke (CI gate, well under 2 minutes): the invariant
 # oracle must stay silent on live-cluster replays of generated

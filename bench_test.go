@@ -19,6 +19,7 @@ import (
 	"realtor/internal/policy"
 	"realtor/internal/protocol"
 	"realtor/internal/rng"
+	"realtor/internal/sim"
 	"realtor/internal/topology"
 	"realtor/internal/transportfactory"
 	"realtor/internal/workload"
@@ -337,5 +338,45 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.StopTimer()
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+	}
+}
+
+// BenchmarkDiscoveryCost is the D1 head-to-head in benchmark form: one
+// fault-free discovery cell per protocol at 2.5k and 10k nodes, with the
+// per-task message bill and the admission probability reported as custom
+// metrics next to ns/op. The windows are shorter than the full sweep's
+// (results/discovery.txt) but preserve its shape: flood-REALTOR's
+// msg-units/task grows with N while DHT and HIER stay roughly flat.
+func BenchmarkDiscoveryCost(b *testing.B) {
+	st := experiment.DiscoveryStudy{
+		Sides:   []int{50, 100},
+		Warmups: []sim.Time{5, 5},
+		// Hot-node backlog grows 3 s/s against the 90 s help threshold,
+		// so the run must reach past t=30 or flood-REALTOR never sends
+		// a message and the cell degenerates to zero cost.
+		Durations:    []sim.Time{45, 40},
+		HotNodes:     []int{8, 8},
+		VerifyShards: []int{1},
+		MeanSize:     2,
+		HotTaskRate:  2,
+		Background:   2,
+		Seed:         8,
+	}
+	for si, side := range st.Sides {
+		for _, proto := range experiment.DiscoveryProtocols() {
+			b.Run(fmt.Sprintf("n=%d/%s", side*side, proto), func(b *testing.B) {
+				b.ReportAllocs()
+				var pt experiment.DiscoveryPoint
+				for i := 0; i < b.N; i++ {
+					var err error
+					pt, err = experiment.RunDiscoveryOne(st, si, proto)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(pt.CostPerTask, "msg-units/task")
+				b.ReportMetric(pt.Admission, "admission")
+			})
+		}
 	}
 }

@@ -186,6 +186,29 @@ func main() {
 			"# with the machine (see EXPERIMENTS.md A2-XL).\n%s",
 		xlst.PerNodeLambda, xlst.Radius, experiment.XLTable(xl)))
 
+	// D1: the full study is hours of single-cell flood simulation at
+	// ~100k nodes, so -quick drops to smoke-sized meshes; either way
+	// every cell is verified byte-identical across shard counts first.
+	dst := experiment.DefaultDiscovery()
+	if *quick {
+		dst.Sides = []int{10, 16}
+		dst.Warmups = []sim.Time{10, 10}
+		dst.Durations = []sim.Time{60, 50}
+		dst.HotNodes = []int{4, 4}
+		dst.VerifyShards = []int{1, 2, 4}
+	}
+	dpts, err := experiment.RunDiscovery(dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	write("discovery.txt", "# D1 discovery head-to-head: flood-REALTOR vs Chord-style DHT vs\n"+
+		"# k-level hierarchical REALTOR vs one-level federation under none/\n"+
+		"# kill/exhaust/churn; per-task message cost, admission, latency.\n"+
+		"# Cells verified byte-identical across shard counts before\n"+
+		"# reporting; the wall column varies per machine.\n"+
+		experiment.DiscoveryTable(dpts))
+
 	write("ablation.txt", "# A3 Algorithm H alpha/beta at λ=7\n"+
 		experiment.AblationTable(experiment.RunAlphaBeta(
 			[]float64{0.1, 0.25, 0.5, 1.0}, []float64{0.1, 0.25, 0.5, 0.9}, 7, *seed)))

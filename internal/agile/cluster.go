@@ -311,11 +311,11 @@ func (c *Cluster) countFlood(k protocol.Kind) {
 
 func (c *Cluster) countUnicast(k protocol.Kind) {
 	switch k {
-	case protocol.Pledge:
+	case protocol.Pledge, protocol.DHTFound:
 		c.pledgeMsgs.Add(1)
-	case protocol.Help, protocol.Relay:
+	case protocol.Help, protocol.Relay, protocol.DHTGet:
 		c.helpMsgs.Add(1)
-	case protocol.Advert:
+	case protocol.Advert, protocol.DHTPut:
 		c.advertMsgs.Add(1)
 	}
 }

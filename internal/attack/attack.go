@@ -156,6 +156,51 @@ func (f Flap) Apply(e *engine.Engine) {
 	}
 }
 
+// NodeChurn flaps random nodes: every Interval seconds from Start until
+// Until, one node drawn (seeded, deterministic) from the ID space is
+// killed and revived Down seconds later. This is churn in the Chord
+// sense — membership flux rather than network damage — and it is the
+// scenario that separates directory overlays from floods: a DHT whose
+// band home dies loses the directory until republication, while a flood
+// just stops hearing one voice. The graph is never mutated, so distance
+// fast paths stay valid at any scale.
+type NodeChurn struct {
+	Start    sim.Time
+	Until    sim.Time
+	Interval sim.Time
+	Down     sim.Time
+	N        int // node-ID space to draw from
+	Seed     int64
+}
+
+// Name implements Scenario.
+func (c NodeChurn) Name() string {
+	return fmt.Sprintf("node-churn@%g", float64(c.Start))
+}
+
+// Apply implements Scenario.
+func (c NodeChurn) Apply(e *engine.Engine) {
+	if c.Interval <= 0 || c.Down <= 0 {
+		panic("attack: node churn interval and down-time must be positive")
+	}
+	if c.N <= 0 {
+		panic("attack: node churn needs a positive ID space")
+	}
+	// Targets are drawn up front so the schedule is a pure function of
+	// the seed; Kill/Revive are idempotent, so a node re-picked while
+	// still down just extends nothing and revives on the first timer.
+	rnd := rng.New(c.Seed).Derive("node-churn")
+	for t := c.Start; t < c.Until; t += c.Interval {
+		id := topology.NodeID(rnd.Intn(c.N))
+		e.Scheduler().At(t, func(now sim.Time) {
+			e.Kill(id)
+			e.Scheduler().At(now+c.Down, func(sim.Time) {
+				e.Revive(id)
+			})
+		})
+	}
+}
+
 // Exhaust saturates a victim's queue with bogus work every Interval
 // seconds between At and Until — a resource-exhaustion attack that leaves
 // the node alive (and still answering discovery messages) but useless.

@@ -5,6 +5,7 @@ import (
 
 	"realtor/internal/core"
 	"realtor/internal/engine"
+	"realtor/internal/metrics"
 	"realtor/internal/protocol"
 	"realtor/internal/resource"
 	"realtor/internal/rng"
@@ -144,6 +145,54 @@ func TestFlap(t *testing.T) {
 	if p := st.AdmissionProbability(); p < 0.85 {
 		t.Fatalf("admission %v under flapping", p)
 	}
+}
+
+func TestNodeChurn(t *testing.T) {
+	e := newEngine(true, 0)
+	NodeChurn{Start: 100, Until: 500, Interval: 10, Down: 30, N: 25, Seed: 9}.Apply(e)
+	var sawDown bool
+	for probe := sim.Time(150); probe < 500; probe += 50 {
+		e.Scheduler().At(probe, func(sim.Time) {
+			if e.AliveCount() < 25 {
+				sawDown = true
+			}
+		})
+	}
+	st := e.Run(poisson(4, 6))
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDown {
+		t.Fatal("churn never took a node down")
+	}
+	// Every kill schedules its revive; the last one lands by 500+30, well
+	// inside the settle window, so the run ends at full strength.
+	if e.AliveCount() != 25 {
+		t.Fatalf("alive %d at end, want 25", e.AliveCount())
+	}
+	if p := st.AdmissionProbability(); p < 0.8 {
+		t.Fatalf("admission %v under node churn", p)
+	}
+}
+
+func TestNodeChurnDeterministic(t *testing.T) {
+	run := func() metrics.RunStats {
+		e := newEngine(true, 0)
+		NodeChurn{Start: 100, Until: 400, Interval: 5, Down: 20, N: 25, Seed: 3}.Apply(e)
+		return e.Run(poisson(4, 7))
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestNodeChurnInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero interval")
+		}
+	}()
+	NodeChurn{Start: 0, Until: 10, Interval: 0, Down: 1, N: 5}.Apply(newEngine(true, 0))
 }
 
 func TestFlapInvalidPanics(t *testing.T) {

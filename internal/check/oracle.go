@@ -230,6 +230,10 @@ type Oracle struct {
 
 	// I11 retry ledger: refloods observed on the wire per incarnation.
 	refloods []uint64
+
+	// I4-overlay / I5-overlay structured-overlay bookkeeping
+	// (overlay.go).
+	ov overlayAudit
 }
 
 // MaxViolations bounds how many violations an oracle retains (further
@@ -274,6 +278,7 @@ func NewWorldOracle(w World, slack sim.Time) *Oracle {
 		bktLast:   make([]sim.Time, n),
 		birth:     make([]sim.Time, n),
 		refloods:  make([]uint64, n),
+		ov:        newOverlayAudit(n),
 	}
 	if g := w.Graph(); g != nil {
 		o.shadow = g.Clone()
@@ -700,6 +705,7 @@ func (o *Oracle) OnSend(now sim.Time, from, to topology.NodeID, m protocol.Messa
 		o.fail(now, "I6-partition-safety", from,
 			"message %s sent to node %d across a recorded cut", m.Kind, to)
 	}
+	o.overlaySend(now, from, m)
 	if m.Kind != protocol.Pledge {
 		return
 	}
@@ -756,6 +762,8 @@ func (o *Oracle) OnDeliver(now sim.Time, to topology.NodeID, m protocol.Message)
 		}
 		sp.last = now
 		o.helps[pair{to, m.From}] = sp
+	case protocol.DHTPut, protocol.DHTGet, protocol.DHTFound:
+		o.overlayDeliver(now, to, m)
 	}
 }
 
@@ -854,6 +862,7 @@ func (o *Oracle) FinishNode(now sim.Time, id topology.NodeID) {
 	}
 	o.auditPledgeList(now, id)
 	o.auditMemberships(now, id)
+	o.finishOverlayNode(now, id)
 	if s := o.state(id); s != nil {
 		iv, pen, rew := s.HelpIntervalState()
 		o.checkInterval(now, id, s, iv, pen, rew)

@@ -389,6 +389,12 @@ func New(cfg Config, build Builder) *Engine {
 		e.disco[i] = build()
 		e.disco[i].Attach(e.envs[i])
 	}
+	// Any cross-shard sends a protocol issued from Attach go onto their
+	// home queues now, before the first phase can advance a clock past
+	// their delivery times. (Protocols that want attach-time sends seen
+	// by observers bound after New — the oracle idiom — should defer
+	// them to an After(0) timer instead, as protocol/dht does.)
+	e.flushMail()
 	e.protoName = e.disco[0].Name()
 	return e
 }
@@ -1301,11 +1307,11 @@ func (v *nodeEnv) Unicast(to topology.NodeID, m protocol.Message) {
 		st := &e.statsPer[v.id]
 		st.MessageUnits += e.cost.UnicastUnits
 		switch m.Kind {
-		case protocol.Pledge:
+		case protocol.Pledge, protocol.DHTFound:
 			st.PledgeMsgs++
-		case protocol.Help, protocol.Relay:
+		case protocol.Help, protocol.Relay, protocol.DHTGet:
 			st.HelpMsgs++
-		case protocol.Advert:
+		case protocol.Advert, protocol.DHTPut:
 			st.AdvertMsgs++
 		}
 	}

@@ -58,6 +58,46 @@ func TestLeadersAndGateways(t *testing.T) {
 	}
 }
 
+func TestGatewayFuncOverridesGatewaysAtAttach(t *testing.T) {
+	cfg := fedConfig(5, 9) // static list, should lose
+	var sawSelf topology.NodeID = -1
+	cfg.GatewayFunc = func(self topology.NodeID) []topology.NodeID {
+		sawSelf = self
+		return []topology.NodeID{self + 10, self + 20}
+	}
+	env := protocoltest.New(3, 100)
+	f := New(cfg)
+	f.Attach(env)
+	if sawSelf != 3 {
+		t.Fatalf("GatewayFunc saw self=%d, want 3 (resolved at Attach)", sawSelf)
+	}
+	// The escalation targets prove which list won.
+	f.Candidates(10)
+	relays := env.Unicasts(protocol.Relay)
+	if len(relays) != 2 || relays[0].To != 13 || relays[1].To != 23 {
+		t.Fatalf("escalation went to %v, want the GatewayFunc targets [13 23]", relays)
+	}
+}
+
+func TestEscalateEveryZeroDefaultsToHelpUpper(t *testing.T) {
+	cfg := fedConfig(5)
+	cfg.EscalateEvery = 0
+	f := New(cfg)
+	if f.escalateEvery != cfg.Protocol.HelpUpper {
+		t.Fatalf("escalateEvery = %v, want HelpUpper %v", f.escalateEvery, cfg.Protocol.HelpUpper)
+	}
+	// And the default actually gates: a second starved lookup inside
+	// HelpUpper seconds must not escalate again.
+	env := protocoltest.New(0, 100)
+	f.Attach(env)
+	f.Candidates(10)
+	env.Advance(cfg.Protocol.HelpUpper / 2)
+	f.Candidates(10)
+	if got := len(env.Unicasts(protocol.Relay)); got != 1 {
+		t.Fatalf("relays %d, want 1 (HelpUpper default rate limit)", got)
+	}
+}
+
 func TestEscalationOnEmptyCandidates(t *testing.T) {
 	env := protocoltest.New(0, 100)
 	f := New(fedConfig(5, 9))

@@ -80,6 +80,19 @@ func Generate(seed int64) Scenario {
 		s.Policies = generatePolicies(r, seed)
 	}
 
+	// The discovery protocol is drawn unconditionally (one Intn whether
+	// or not an overlay lands) so the stream advances identically for
+	// every scenario. Most scenarios keep flood-REALTOR — the
+	// differential and the label-sensitive metamorphic relations only
+	// run there — while about a quarter swap in an overlay to fuzz the
+	// DHT and the hierarchy under the invariant oracle.
+	switch r.Intn(8) {
+	case 0:
+		s.Discovery = "dht"
+	case 1:
+		s.Discovery = "hier"
+	}
+
 	s.Events = generateEvents(r, s)
 	return s
 }

@@ -50,6 +50,13 @@ const relabelMinOffered = 30
 // picks links by index, which is not label-equivariant).
 // Returns ("", true) on success or a description of the violation.
 func CheckRelabel(s Scenario, permSeed int64) (string, bool) {
+	if s.Discovery != "" {
+		// The overlays are label-dependent by construction — the DHT's
+		// ring position is a hash of the node ID and the hierarchy's
+		// communities are contiguous ID blocks — so a renaming changes
+		// routing and community structure, not just tie-breaks.
+		return "", true
+	}
 	g := s.Graph()
 	n := g.N()
 	p := rng.New(permSeed).Derive("relabel").Perm(n)
@@ -139,6 +146,12 @@ func CheckCapacity(s Scenario) (string, bool) {
 // runs are quiescent except for the one flood, so there is no race
 // noise to tolerate.
 func CheckFloodScope(s Scenario) (string, bool) {
+	if s.Discovery != "" {
+		// The DHT never floods (unicast GETs replace HELP) and the
+		// hierarchy's floods are group-scoped, not radius-scoped;
+		// neither exposes the pledge table this relation inspects.
+		return "", true
+	}
 	gather := func(radius int) ([]topology.NodeID, bool) {
 		g := s.Graph()
 		cfg := s.EngineConfig(g)

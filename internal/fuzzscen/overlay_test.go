@@ -1,0 +1,100 @@
+package fuzzscen
+
+import (
+	"strings"
+	"testing"
+)
+
+// The generator must land each overlay on a real fraction of scenarios
+// — enough that a fuzz-smoke sweep exercises both — while leaving the
+// majority on flood-REALTOR for the differential.
+func TestGenerateDrawsOverlayProtocols(t *testing.T) {
+	counts := map[string]int{}
+	const n = 400
+	for seed := int64(1); seed <= n; seed++ {
+		counts[Generate(seed).Discovery]++
+	}
+	if counts["dht"] == 0 || counts["hier"] == 0 {
+		t.Fatalf("overlay draws missing entirely: %v", counts)
+	}
+	overlay := counts["dht"] + counts["hier"]
+	if frac := float64(overlay) / n; frac < 0.10 || frac > 0.45 {
+		t.Fatalf("overlay fraction %.2f outside [0.10, 0.45]: %v", frac, counts)
+	}
+}
+
+func TestValidateRejectsUnknownDiscovery(t *testing.T) {
+	s := Generate(3)
+	s.Discovery = "gossip"
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "discovery") {
+		t.Fatalf("err = %v, want unknown-discovery error", err)
+	}
+}
+
+// Overlay scenarios replay bit-exactly (same stats twice) and still do
+// useful work (something admitted when something was offered).
+func TestOverlayScenariosReplayDeterministically(t *testing.T) {
+	ran := map[string]int{}
+	for seed := int64(1); seed <= 100 && (ran["dht"] < 2 || ran["hier"] < 2); seed++ {
+		s := Generate(seed)
+		if s.Discovery == "" || ran[s.Discovery] >= 2 {
+			continue
+		}
+		ran[s.Discovery]++
+		g := s.Graph()
+		a := plainRun(s, g, s.Attacks(), s.Workload(g))
+		g2 := s.Graph()
+		b := plainRun(s, g2, s.Attacks(), s.Workload(g2))
+		if a != b {
+			t.Fatalf("seed %d (%s): replay diverged:\n %+v\n %+v", seed, s.Discovery, a, b)
+		}
+		if a.Offered > 0 && a.Admitted == 0 {
+			t.Fatalf("seed %d (%s): nothing admitted of %d offered", seed, s.Discovery, a.Offered)
+		}
+	}
+	if ran["dht"] < 2 || ran["hier"] < 2 {
+		t.Fatalf("generator sweep surfaced too few overlay scenarios: %v", ran)
+	}
+}
+
+// The fast-vs-reference differential stays REALTOR-only: an overlay
+// scenario is compared through its REALTOR projection, which must pass,
+// and the caller's scenario must keep its Discovery field.
+func TestDifferentialOverlayProjection(t *testing.T) {
+	s := Generate(1)
+	s.Discovery = "dht"
+	if why, ok := Differential(s); !ok {
+		t.Fatalf("overlay scenario's REALTOR projection diverged: %s", why)
+	}
+	if s.Discovery != "dht" {
+		t.Fatal("Differential mutated the caller's scenario")
+	}
+}
+
+// The label-sensitive metamorphic relations self-guard: overlays place
+// nodes by ID (hash ring, ID-block communities), so relabeling is not
+// an isomorphism for them and radius floods never happen.
+func TestMetamorphicGuardsSkipOverlays(t *testing.T) {
+	for _, disc := range []string{"dht", "hier"} {
+		s := Generate(2)
+		s.Discovery = disc
+		if why, ok := CheckRelabel(s, 99); !ok {
+			t.Fatalf("%s: relabel must skip overlays, got: %s", disc, why)
+		}
+		if why, ok := CheckFloodScope(s); !ok {
+			t.Fatalf("%s: flood-scope must skip overlays, got: %s", disc, why)
+		}
+	}
+}
+
+// The shrinker must be able to swap a failing overlay scenario back to
+// flood-REALTOR when the failure does not depend on the overlay — the
+// minimal counterexample then replays on the best-understood protocol.
+func TestShrinkSwapsOverlayBackToREALTOR(t *testing.T) {
+	s := Generate(5)
+	s.Discovery = "hier"
+	got := Shrink(s, func(Scenario) bool { return true })
+	if got.Discovery != "" {
+		t.Fatalf("shrinker kept Discovery=%q; want swapped back to REALTOR", got.Discovery)
+	}
+}

@@ -15,11 +15,31 @@ import (
 	"realtor/internal/metrics"
 	"realtor/internal/policy"
 	"realtor/internal/protocol"
+	"realtor/internal/protocol/dht"
+	"realtor/internal/protocol/hier"
 )
 
-// Builder returns the honest fast-path protocol builder for a scenario.
+// Overlay sizing for fuzz-scale meshes (tens of nodes): communities of
+// 4 under a binary tree give the hierarchy real depth even at N=9, and
+// the same group size feeds EngineConfig's flood scoping.
+const (
+	fuzzGroupSize = 4
+	fuzzBranch    = 2
+)
+
+// Builder returns the honest fast-path protocol builder for a scenario:
+// flood-REALTOR by default, or the overlay the Discovery field selects.
 func Builder(s Scenario) engine.Builder {
 	cfg := s.ProtocolConfig()
+	switch s.Discovery {
+	case "dht":
+		return wrapPolicies(s, dht.Build(dht.Config{Protocol: cfg, N: s.Nodes()}))
+	case "hier":
+		return wrapPolicies(s, hier.Build(hier.Config{
+			Protocol: cfg, N: s.Nodes(),
+			GroupSize: fuzzGroupSize, Branch: fuzzBranch,
+		}))
+	}
 	return wrapPolicies(s, func() protocol.Discovery { return core.New(cfg) })
 }
 
@@ -76,6 +96,12 @@ func Differential(s Scenario) (string, bool) {
 // sharded extends the differential's coverage to the parallel kernel
 // itself.
 func DifferentialShards(s Scenario, shards int) (string, bool) {
+	// The differential pair is REALTOR-only: check.Reference has no
+	// overlay twin, so an overlay scenario is compared through its
+	// REALTOR projection (same topology, workload, faults, and knobs —
+	// only the discovery protocol reverts). s is a value; the caller's
+	// scenario keeps its Discovery field.
+	s.Discovery = ""
 	fast, fastStats := runLogged(s, Builder(s), shards)
 	ref, refStats := runLogged(s, ReferenceBuilder(s), shards)
 	if _, why := check.CompareLogs(fast, ref); why != "" {

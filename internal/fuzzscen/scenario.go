@@ -20,6 +20,7 @@ import (
 	"realtor/internal/engine"
 	"realtor/internal/policy"
 	"realtor/internal/protocol"
+	"realtor/internal/protocol/hier"
 	"realtor/internal/rng"
 	"realtor/internal/sim"
 	"realtor/internal/topology"
@@ -88,6 +89,14 @@ type Scenario struct {
 	PledgeWait     float64 `json:"pledge_wait"`
 	HelpInit       float64 `json:"help_init"`
 
+	// Discovery selects the protocol under test: "" (REALTOR, the
+	// default), "dht" (the Chord-style overlay), or "hier" (k-level
+	// hierarchical REALTOR, which also scopes engine floods to its
+	// level-0 communities). The fast-vs-reference differential and the
+	// label-sensitive metamorphic relations stay REALTOR-only — overlay
+	// scenarios exercise the invariant oracle and the engine instead.
+	Discovery string `json:"discovery,omitempty"`
+
 	// Workload: Poisson arrivals at Lambda tasks/s of mean size
 	// MeanSize seconds, uniformly over the nodes.
 	Lambda   float64 `json:"lambda"`
@@ -132,6 +141,11 @@ func (s Scenario) Validate() error {
 		if err := s.Policies.Validate(); err != nil {
 			return fmt.Errorf("fuzzscen: %w", err)
 		}
+	}
+	switch s.Discovery {
+	case "", "dht", "hier":
+	default:
+		return fmt.Errorf("fuzzscen: unknown discovery protocol %q", s.Discovery)
 	}
 	n := s.Nodes()
 	for i, ev := range s.Events {
@@ -212,7 +226,7 @@ func (s Scenario) ProtocolConfig() protocol.Config {
 // (freshly built) graph. Trace and Observer are left nil for the caller
 // to wire.
 func (s Scenario) EngineConfig(g *topology.Graph) engine.Config {
-	return engine.Config{
+	cfg := engine.Config{
 		Graph:         g,
 		QueueCapacity: s.QueueCapacity,
 		HopDelay:      sim.Time(s.HopDelay),
@@ -223,6 +237,13 @@ func (s Scenario) EngineConfig(g *topology.Graph) engine.Config {
 		FloodRadius:   s.FloodRadius,
 		Seed:          s.EngineSeed,
 	}
+	if s.Discovery == "hier" {
+		// The hierarchy scopes floods to its level-0 communities via
+		// engine groups; a radius limit on top would double-scope them.
+		cfg.Groups = hier.Groups(s.Nodes(), fuzzGroupSize)
+		cfg.FloodRadius = 0
+	}
+	return cfg
 }
 
 // Workload rebuilds the arrival source.

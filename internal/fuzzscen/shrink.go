@@ -54,6 +54,7 @@ func Shrink(s Scenario, fails func(Scenario) bool) Scenario {
 		// 3. Scalar simplifications: knock optional complexity back to
 		// its default when the failure survives without it.
 		for _, sub := range []func(*Scenario) bool{
+			func(c *Scenario) bool { ch := c.Discovery != ""; c.Discovery = ""; return ch },
 			func(c *Scenario) bool { ch := c.LossProb != 0; c.LossProb = 0; return ch },
 			func(c *Scenario) bool { ch := c.MaxTries != 0; c.MaxTries = 0; return ch },
 			func(c *Scenario) bool { ch := c.FloodRadius != 0; c.FloodRadius = 0; return ch },

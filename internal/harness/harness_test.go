@@ -80,6 +80,33 @@ func TestSimMutantIsCaughtAndShrinks(t *testing.T) {
 
 // TestBackendContracts pins the cheap surface invariants: names, slack
 // defaulting, and the simulator's exact clock.
+// TestSimOverlayRunsAreOracleClean forces both overlay discovery
+// protocols onto generated scenarios and requires the oracle (with I4/I5
+// generalized to overlay routing; I1–I3 bind only to REALTOR state) to
+// stay silent — the invariant path the fuzz loop runs when the generator
+// draws Discovery "dht" or "hier".
+func TestSimOverlayRunsAreOracleClean(t *testing.T) {
+	for _, disc := range []string{"dht", "hier"} {
+		offered := uint64(0)
+		for seed := int64(1); seed <= 10; seed++ {
+			s := fuzzscen.Generate(seed)
+			s.Discovery = disc
+			out, err := RunChecked(Sim(), s, fuzzscen.Builder(s))
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", disc, seed, err)
+			}
+			if out.Failed() {
+				t.Errorf("%s seed %d: %d violations, first: %s\n%s",
+					disc, seed, len(out.Violations), out.Violations[0], s.JSON())
+			}
+			offered += out.Stats.Offered
+		}
+		if offered == 0 {
+			t.Fatalf("%s: no scenario offered any tasks", disc)
+		}
+	}
+}
+
 func TestBackendContracts(t *testing.T) {
 	if Sim().Name() != "sim" || Sim().Slack() != 0 {
 		t.Fatalf("sim backend: name %q slack %v", Sim().Name(), Sim().Slack())

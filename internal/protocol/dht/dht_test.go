@@ -1,0 +1,297 @@
+package dht_test
+
+import (
+	"fmt"
+	"testing"
+
+	"realtor/internal/check"
+	"realtor/internal/engine"
+	"realtor/internal/protocol"
+	"realtor/internal/protocol/dht"
+	"realtor/internal/protocol/protocoltest"
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/topology"
+	"realtor/internal/workload"
+)
+
+func testConfig(n int) dht.Config {
+	pc := protocol.DefaultConfig()
+	pc.EntryTTL = 50
+	return dht.Config{Protocol: pc, N: n}
+}
+
+// TestRingRoutingConverges pins the Chord geometry: every (start, band)
+// lookup reaches the key's home within the routing TTL using only
+// greedy NextHop steps.
+func TestRingRoutingConverges(t *testing.T) {
+	const n = 257
+	r := dht.NewRing(n, 8)
+	for b := 0; b < r.Bands(); b++ {
+		key := r.BandKey(b)
+		home := r.Home(key)
+		for start := 0; start < n; start += 13 {
+			at := topology.NodeID(start)
+			hops := 0
+			for at != home {
+				at = r.NextHop(at, r.Fingers(at), key)
+				if hops++; hops > 40 {
+					t.Fatalf("band %d from node %d: no convergence after %d hops", b, start, hops)
+				}
+			}
+		}
+	}
+}
+
+// TestRingPointsDistinct: mix64 is a bijection, so node points and band
+// keys never collide.
+func TestRingPointsDistinct(t *testing.T) {
+	r := dht.NewRing(1000, 16)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		p := r.Point(topology.NodeID(i))
+		if seen[p] {
+			t.Fatalf("node point collision at %d", i)
+		}
+		seen[p] = true
+	}
+	for b := 0; b < 16; b++ {
+		if seen[r.BandKey(b)] {
+			t.Fatalf("band key %d collides with a node point", b)
+		}
+		seen[r.BandKey(b)] = true
+	}
+}
+
+// cluster wires n instances through FakeEnvs and shuttles their unicasts
+// by hand, so the overlay runs without the engine.
+type cluster struct {
+	envs []*protocoltest.FakeEnv
+	ds   []*dht.D
+}
+
+func newCluster(t *testing.T, cfg dht.Config) *cluster {
+	t.Helper()
+	build := dht.Build(cfg)
+	c := &cluster{}
+	for i := 0; i < cfg.N; i++ {
+		env := protocoltest.New(topology.NodeID(i), 100)
+		c.envs = append(c.envs, env)
+		d := build().(*dht.D)
+		c.ds = append(c.ds, d)
+		d.Attach(env)
+	}
+	// The initial publish sits behind a zero-delay timer; fire it.
+	for _, env := range c.envs {
+		env.Advance(0)
+	}
+	c.pump()
+	return c
+}
+
+// pump delivers queued unicasts until the network is quiet.
+func (c *cluster) pump() {
+	for moved := true; moved; {
+		moved = false
+		for _, env := range c.envs {
+			out := env.Outbox
+			env.Outbox = nil
+			for _, s := range out {
+				if s.To >= 0 && int(s.To) < len(c.ds) {
+					c.ds[s.To].Deliver(s.Msg)
+					moved = true
+				}
+			}
+		}
+	}
+}
+
+func (c *cluster) directorySize(id topology.NodeID) int {
+	n := 0
+	c.ds[id].EachDirectoryEntry(func(int, protocol.Candidate) { n++ })
+	return n
+}
+
+// TestPutReachesHomeAndGetFinds: idle providers publish to the top
+// band's home; an overloaded node's GET comes back as a FOUND and the
+// candidate serves a migration.
+func TestPutReachesHomeAndGetFinds(t *testing.T) {
+	cfg := testConfig(8)
+	c := newCluster(t, cfg)
+
+	// Every node attached idle (headroom 100 = full capacity), so all 8
+	// published into the top band; its home must hold the other 7 (its
+	// own entry is local).
+	total := 0
+	for i := range c.ds {
+		total += c.directorySize(topology.NodeID(i))
+	}
+	if total != 8 {
+		t.Fatalf("want 8 directory entries after attach, got %d", total)
+	}
+
+	// Overload node 0 and trigger a lookup for a 10-second task.
+	c.envs[0].Backlog = 95
+	c.ds[0].OnArrival(10)
+	c.pump()
+	cands := c.ds[0].Candidates(10)
+	if len(cands) == 0 {
+		t.Fatal("no candidates after GET/FOUND round trip")
+	}
+	for _, cand := range cands {
+		if cand.ID == 0 {
+			t.Fatal("candidate list contains the requester itself")
+		}
+		if cand.Headroom < 10 {
+			t.Fatalf("unfitting candidate %+v", cand)
+		}
+	}
+}
+
+// TestCrossingUpRetracts: a provider that crosses its threshold
+// retracts its directory entry.
+func TestCrossingUpRetracts(t *testing.T) {
+	cfg := testConfig(8)
+	c := newCluster(t, cfg)
+	before := 0
+	for i := range c.ds {
+		before += c.directorySize(topology.NodeID(i))
+	}
+	c.envs[3].Backlog = 95 // above the 0.9 threshold
+	c.ds[3].OnUsageCrossing(true)
+	c.pump()
+	after := 0
+	for i := range c.ds {
+		after += c.directorySize(topology.NodeID(i))
+	}
+	if after != before-1 {
+		t.Fatalf("retraction: directory went %d -> %d, want %d", before, after, before-1)
+	}
+}
+
+// TestIntervalPenaltyAndReward pins the Algorithm-H analogue on the GET
+// interval: unanswered lookups back off by 1+Alpha, successful
+// migrations recover by 1-Beta down to HelpMin.
+func TestIntervalPenaltyAndReward(t *testing.T) {
+	cfg := testConfig(1) // self-home: lookups resolve locally, find nothing
+	d := dht.New(cfg, dht.NewRing(1, 8))
+	env := protocoltest.New(0, 100)
+	d.Attach(env)
+	env.Backlog = 95
+	start := d.Interval()
+	d.OnArrival(10)
+	env.Advance(cfg.Protocol.PledgeWait + 1)
+	want := start * sim.Time(1+cfg.Protocol.Alpha)
+	if d.Interval() != want {
+		t.Fatalf("after unanswered GET interval = %v, want %v", d.Interval(), want)
+	}
+	d.OnMigrationOutcome(0, 10, true)
+	want *= sim.Time(1 - cfg.Protocol.Beta)
+	if want < cfg.Protocol.HelpMin {
+		want = cfg.Protocol.HelpMin
+	}
+	if d.Interval() != want {
+		t.Fatalf("after success interval = %v, want %v", d.Interval(), want)
+	}
+}
+
+// TestRoutingTTLDrops: a message arriving at a non-home node with an
+// exhausted hop budget is dropped, not forwarded.
+func TestRoutingTTLDrops(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.MaxHops = 2
+	c := newCluster(t, cfg)
+	key := dht.NewRing(8, 8).BandKey(0)
+	home := dht.NewRing(8, 8).Home(key)
+	var carrier topology.NodeID = -1
+	for i := 0; i < 8; i++ {
+		if topology.NodeID(i) != home {
+			carrier = topology.NodeID(i)
+			break
+		}
+	}
+	c.ds[carrier].Deliver(protocol.Message{
+		Kind: protocol.DHTGet, From: carrier, Origin: carrier, Demand: 1,
+		Key: key, Hop: 1, // Deliver bumps to 2 == MaxHops → drop
+	})
+	if got := len(c.envs[carrier].Unicasts(protocol.DHTGet)); got != 0 {
+		t.Fatalf("TTL-expired message was forwarded %d times", got)
+	}
+	_, _, _, _, dropped := c.ds[carrier].Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped counter = %d, want 1", dropped)
+	}
+}
+
+// TestEngineRunOracleClean runs the DHT on the real engine under the
+// full oracle (I4-overlay/I5-overlay included) with churn and node
+// faults, and requires a violation-free run that actually migrated.
+func TestEngineRunOracleClean(t *testing.T) {
+	g := topology.Mesh(6, 6)
+	pc := protocol.DefaultConfig()
+	pc.EntryTTL = 30
+	cfg := dht.Config{Protocol: pc, N: g.N()}
+	ecfg := engine.Config{
+		Graph:         g,
+		QueueCapacity: 20,
+		HopDelay:      0.01,
+		Threshold:     pc.Threshold,
+		Duration:      60,
+		Seed:          3,
+	}
+	h := &check.Hooks{}
+	ecfg.Trace, ecfg.Observer = h, h
+	e := engine.New(ecfg, engine.Builder(dht.Build(cfg)))
+	o := check.NewOracle(e)
+	h.Bind(o)
+	sched := e.Scheduler()
+	sched.At(20, func(sim.Time) { e.Kill(7) })
+	sched.At(25, func(sim.Time) { e.CutLink(0, 1) })
+	sched.At(35, func(sim.Time) { e.Revive(7) })
+	sched.At(40, func(sim.Time) { e.RestoreLink(0, 1) })
+
+	// Hot-spot load so lookups actually fire: most work lands on node 5.
+	src := workload.NewPoisson(18, 2, g.N(), rng.New(3))
+	src.Select = workload.HotSpot(5, 0.7, g.N(), rng.New(3).Derive("hot"))
+	stats := e.Run(src)
+	o.Finish(e.Scheduler().Now())
+
+	if stats.Offered == 0 || stats.Migrated == 0 {
+		t.Fatalf("run too quiet to exercise the overlay: %+v", stats)
+	}
+	if stats.HelpMsgs == 0 || stats.AdvertMsgs == 0 || stats.PledgeMsgs == 0 {
+		t.Fatalf("expected GET/PUT/FOUND traffic, got %+v", stats)
+	}
+	for _, v := range o.Violations() {
+		t.Errorf("unexpected violation: %s", v)
+	}
+}
+
+// TestEngineShardInvariance: the DHT sweep is byte-identical at any
+// shard count.
+func TestEngineShardInvariance(t *testing.T) {
+	run := func(shards int) string {
+		g := topology.Mesh(6, 6)
+		pc := protocol.DefaultConfig()
+		cfg := dht.Config{Protocol: pc, N: g.N()}
+		ecfg := engine.Config{
+			Graph:         g,
+			QueueCapacity: 20,
+			HopDelay:      0.01,
+			Threshold:     pc.Threshold,
+			Duration:      40,
+			Seed:          9,
+			Shards:        shards,
+		}
+		e := engine.New(ecfg, engine.Builder(dht.Build(cfg)))
+		src := workload.NewPoisson(18, 2, g.N(), rng.New(9))
+		src.Select = workload.HotSpot(8, 0.7, g.N(), rng.New(9).Derive("hot"))
+		return fmt.Sprintf("%+v", e.Run(src))
+	}
+	want := run(1)
+	for _, s := range []int{2, 4, 8} {
+		if got := run(s); got != want {
+			t.Fatalf("shards=%d diverged:\n%s\nvs shards=1:\n%s", s, got, want)
+		}
+	}
+}

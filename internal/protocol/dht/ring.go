@@ -1,0 +1,170 @@
+// Package dht implements a Chord-style structured overlay for resource
+// discovery: a deterministic identifier ring over the node-ID space,
+// per-node finger tables, and a distributed directory keyed by headroom
+// bands. Providers PUT their spare capacity to the band's home node;
+// overloaded nodes GET the band that fits the task, and the home answers
+// with a FOUND carrying fitting candidates. Every overlay hop is an
+// ordinary protocol.Env.Unicast over the real topology, so the engine
+// bills it at shortest-path unicast cost — message-cost comparisons
+// against flood-REALTOR are honest (DESIGN.md §12).
+//
+// The membership is static (the scenario's node set), so the ring and
+// finger tables are computed once per run and shared read-only across
+// all node instances; there is no join/stabilize traffic and no
+// replication (r=1). A dead home node simply loses the GETs routed to
+// it until it revives — the requester's adaptive retry interval (the
+// analogue of Algorithm H) absorbs that.
+package dht
+
+import (
+	"sort"
+
+	"realtor/internal/topology"
+)
+
+// mix64 is the splitmix64 finalizer: a bijection on uint64, so distinct
+// node IDs map to distinct ring points with no collision handling.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// nodePoint places a node on the identifier circle.
+func nodePoint(id topology.NodeID) uint64 { return mix64(uint64(id)) }
+
+// bandPoint places a headroom band's directory key on the circle. The
+// complement keeps band inputs disjoint from the (small) node-ID inputs,
+// and mix64's bijectivity then guarantees band keys never collide with
+// node points or each other.
+func bandPoint(band int) uint64 { return mix64(^uint64(band)) }
+
+// Ring is the immutable identifier circle: every node's point, the ring
+// order, and the directory key of every headroom band. Build it once per
+// run and share it across node instances (it is never mutated after
+// construction, so it is safe to read from concurrent shard workers).
+type Ring struct {
+	n     int
+	bands int
+
+	// points[i] is node i's ring position.
+	points []uint64
+	// byPoint holds the node IDs sorted by ring position.
+	byPoint []topology.NodeID
+	// sorted[i] = points[byPoint[i]], ascending.
+	sorted []uint64
+
+	bandKeys []uint64
+}
+
+// NewRing builds the identifier circle for n nodes and the given number
+// of headroom bands.
+func NewRing(n, bands int) *Ring {
+	r := &Ring{
+		n:        n,
+		bands:    bands,
+		points:   make([]uint64, n),
+		byPoint:  make([]topology.NodeID, n),
+		sorted:   make([]uint64, n),
+		bandKeys: make([]uint64, bands),
+	}
+	for i := 0; i < n; i++ {
+		r.points[i] = nodePoint(topology.NodeID(i))
+		r.byPoint[i] = topology.NodeID(i)
+	}
+	sort.Slice(r.byPoint, func(a, b int) bool {
+		return r.points[r.byPoint[a]] < r.points[r.byPoint[b]]
+	})
+	for i, id := range r.byPoint {
+		r.sorted[i] = r.points[id]
+	}
+	for b := 0; b < bands; b++ {
+		r.bandKeys[b] = bandPoint(b)
+	}
+	return r
+}
+
+// N returns the ring's membership size.
+func (r *Ring) N() int { return r.n }
+
+// Bands returns the number of headroom bands.
+func (r *Ring) Bands() int { return r.bands }
+
+// Point returns node id's position on the circle.
+func (r *Ring) Point(id topology.NodeID) uint64 { return r.points[id] }
+
+// BandKey returns band b's directory key.
+func (r *Ring) BandKey(b int) uint64 { return r.bandKeys[b] }
+
+// BandOf returns the band whose directory key is k, or -1. Bands are
+// few (≤ 16), so a linear scan beats a map and stays allocation-free.
+func (r *Ring) BandOf(k uint64) int {
+	for b, bk := range r.bandKeys {
+		if bk == k {
+			return b
+		}
+	}
+	return -1
+}
+
+// Home returns the node responsible for key k: the ring successor (the
+// first node at or clockwise after k, wrapping past the top).
+func (r *Ring) Home(k uint64) topology.NodeID {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= k })
+	if i == len(r.sorted) {
+		i = 0
+	}
+	return r.byPoint[i]
+}
+
+// finger is one finger-table entry: a node and its ring position.
+type finger struct {
+	id    topology.NodeID
+	point uint64
+}
+
+// Fingers computes node self's Chord finger table: the successor of
+// self+2^i for i = 0..63, deduplicated. Entry 0 is always the immediate
+// ring successor, so routing can always make progress.
+func (r *Ring) Fingers(self topology.NodeID) []finger {
+	if r.n < 2 {
+		return nil
+	}
+	p := r.points[self]
+	var out []finger
+	for i := 0; i < 64; i++ {
+		h := r.Home(p + 1<<i) // wraps naturally in uint64 arithmetic
+		if h == self {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].id == h {
+			continue
+		}
+		out = append(out, finger{id: h, point: r.points[h]})
+	}
+	return out
+}
+
+// inArc reports whether x lies on the open clockwise arc (a, b) of the
+// circle. When a == b the arc is the whole circle minus a.
+func inArc(a, x, b uint64) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// NextHop returns the routing step from self toward key: the farthest
+// finger that precedes the key clockwise (classic Chord greedy routing),
+// falling back to the immediate successor so progress is guaranteed.
+// Callers must have established that self is not the home of key.
+func (r *Ring) NextHop(self topology.NodeID, fingers []finger, key uint64) topology.NodeID {
+	p := r.points[self]
+	for i := len(fingers) - 1; i >= 0; i-- {
+		if inArc(p, fingers[i].point, key) {
+			return fingers[i].id
+		}
+	}
+	return fingers[0].id
+}

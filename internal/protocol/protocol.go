@@ -20,14 +20,20 @@ type Kind int
 // Message kinds. HELP and PLEDGE are the community protocol of Section 4;
 // ADVERT is the unsolicited availability broadcast used by the push
 // baselines; RELAY is the inter-group HELP escalation of the federation
-// extension (the paper's Section 7 future work); GOSSIP is the push-pull
-// anti-entropy exchange of the modern comparator in protocol/gossip.
+// and hierarchical extensions (the paper's Section 7 future work);
+// GOSSIP is the push-pull anti-entropy exchange of the modern comparator
+// in protocol/gossip. The DHT* kinds are the structured-overlay traffic
+// of protocol/dht: directory writes (PUT), key lookups (GET) and lookup
+// answers (FOUND), each routed hop by hop over the real topology.
 const (
 	Help Kind = iota
 	Pledge
 	Advert
 	Relay
 	Gossip
+	DHTPut
+	DHTGet
+	DHTFound
 )
 
 // String returns the wire name of the kind.
@@ -43,6 +49,12 @@ func (k Kind) String() string {
 		return "RELAY"
 	case Gossip:
 		return "GOSSIP"
+	case DHTPut:
+		return "DHT-PUT"
+	case DHTGet:
+		return "DHT-GET"
+	case DHTFound:
+		return "DHT-FOUND"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -65,7 +77,17 @@ type Message struct {
 	Communities int         // PLEDGE: communities the pledger belongs to
 	Grant       float64     // PLEDGE: probability of granting when asked
 	Reply       bool        // GOSSIP: this exchange answers a previous one
-	View        []Candidate // GOSSIP: batched availability entries
+	View        []Candidate // GOSSIP/DHT-FOUND: batched availability entries
+
+	// Overlay routing fields. Key is the identifier-ring key a DHT
+	// message is routed toward; Origin is the node that initiated the
+	// overlay operation (where a FOUND answer must return); Hop counts
+	// overlay forwarding steps so routing loops die at a TTL; Level is
+	// the escalation tree level a hierarchical RELAY targets.
+	Key    uint64
+	Origin topology.NodeID
+	Hop    int
+	Level  int
 
 	// Reissue marks a policy-layer retry of an earlier flood. The
 	// backends trace reissued floods as "reflood-<KIND>" instead of

@@ -39,6 +39,16 @@ type Graph struct {
 	adj   [][]NodeID
 	links int
 
+	// gridCols, when positive, marks the graph as a pristine rows×cols
+	// mesh (node (r,c) has ID r*cols+c and exactly the grid links), so
+	// Dist can answer with the Manhattan formula in O(1) — no distance
+	// rows at all. On a 100k-node mesh the difference is structural:
+	// overlay protocols unicast between ring-random pairs, so lazily
+	// materializing a row per sender would cost O(N) time and ~N·8 bytes
+	// of memory each (terabyte-scale in aggregate). Any mutation of the
+	// link set clears the flag; distances then come from BFS rows again.
+	gridCols int
+
 	// dist is the current distance snapshot; nil until first use.
 	dist atomic.Pointer[distMatrix]
 
@@ -155,6 +165,7 @@ func (g *Graph) AddLink(a, b NodeID) {
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 	g.links++
+	g.gridCols = 0
 	g.dist.Store(nil)
 }
 
@@ -166,6 +177,7 @@ func (g *Graph) RemoveNodeLinks(id NodeID) {
 		g.links--
 	}
 	g.adj[id] = nil
+	g.gridCols = 0
 	g.dist.Store(nil)
 }
 
@@ -188,6 +200,7 @@ func (g *Graph) CutLink(a, b NodeID) bool {
 	g.adj[a] = remove(g.adj[a], b)
 	g.adj[b] = remove(g.adj[b], a)
 	g.links--
+	g.gridCols = 0
 	g.publishNext(next)
 	return true
 }
@@ -206,6 +219,7 @@ func (g *Graph) RestoreLink(a, b NodeID) bool {
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
 	g.links++
+	g.gridCols = 0
 	g.publishNext(next)
 	return true
 }
@@ -464,7 +478,20 @@ func (g *Graph) computeDist() *distMatrix {
 }
 
 // Dist returns the hop distance between a and b, or -1 if unreachable.
+// On a pristine mesh this is the Manhattan formula — exact, O(1), and no
+// distance-row materialization (see the gridCols field).
 func (g *Graph) Dist(a, b NodeID) int {
+	if g.gridCols > 0 {
+		dr := int(a)/g.gridCols - int(b)/g.gridCols
+		dc := int(a)%g.gridCols - int(b)%g.gridCols
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		return dr + dc
+	}
 	return g.row(g.ensureDist(), a)[b]
 }
 
@@ -614,6 +641,7 @@ func Mesh(rows, cols int) *Graph {
 			}
 		}
 	}
+	g.gridCols = cols // set last: AddLink clears it
 	return g
 }
 
@@ -705,5 +733,6 @@ func (g *Graph) Clone() *Graph {
 			}
 		}
 	}
+	c.gridCols = g.gridCols // AddLink cleared it; the copy is link-identical
 	return c
 }
