@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The committed results/INDEX.md must agree with the directory both
+// ways: every .txt next to it is listed, and every listed file exists.
+// This is the drift the index used to suffer — attack.txt was produced
+// by a sibling driver (realtor-attack) and never made it into the list.
+func TestResultsIndexMatchesDirectory(t *testing.T) {
+	const dir = "../../results"
+	raw, err := os.ReadFile(filepath.Join(dir, "INDEX.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "- "); ok {
+			listed[strings.TrimSpace(name)] = true
+		}
+	}
+	if len(listed) == 0 {
+		t.Fatal("INDEX.md lists nothing")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, ".txt") {
+			onDisk[n] = true
+		}
+	}
+	for n := range onDisk {
+		if !listed[n] {
+			t.Errorf("results/%s exists but INDEX.md does not list it", n)
+		}
+	}
+	for n := range listed {
+		if !onDisk[n] {
+			t.Errorf("INDEX.md lists %s but results/%s does not exist", n, n)
+		}
+	}
+}

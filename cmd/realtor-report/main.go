@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -278,9 +279,33 @@ func main() {
 	write("live_attack.txt", "# L1 live survivability: 4 of 12 hosts down for the middle third\n"+
 		harness.AttackTable(att, liveDur/10))
 
+	// Sibling drivers drop outputs into the same directory (attack.txt
+	// comes from `go run ./cmd/realtor-attack`); fold any .txt this run
+	// did not write into the index so INDEX.md always lists exactly what
+	// sits next to it. The index_test in this package pins that property
+	// for the committed results/.
+	seen := make(map[string]bool, len(index))
+	for _, n := range index {
+		seen[n] = true
+	}
+	entries, err := os.ReadDir(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "realtor-report:", err)
+		os.Exit(1)
+	}
+	var extra []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, ".txt") && !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	index = append(index, extra...)
+
 	var idx strings.Builder
 	idx.WriteString("# Experiment outputs\n\n")
-	idx.WriteString("Regenerate everything with: go run ./cmd/realtor-report\n\n")
+	idx.WriteString("Regenerate everything with: go run ./cmd/realtor-report\n")
+	idx.WriteString("(attack.txt comes from: go run ./cmd/realtor-attack)\n\n")
 	for _, n := range index {
 		fmt.Fprintf(&idx, "- %s\n", n)
 	}

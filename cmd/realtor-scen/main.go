@@ -1,0 +1,215 @@
+// Command realtor-scen runs, lists, blesses, and exports declarative
+// scenario packages (internal/scenario): directories under scenarios/
+// holding a scenario.json spec and a blessed golden.json run summary.
+//
+// Usage:
+//
+//	realtor-scen list                       # enumerate packages
+//	realtor-scen run -all                   # gate every package (sim, 1 shard)
+//	realtor-scen run -all -shards 4         # same, on the parallel kernel —
+//	                                        # summaries must be byte-identical
+//	realtor-scen run baseline-poisson       # gate one package
+//	realtor-scen run -backend live diurnal  # live cluster: bands only,
+//	                                        # golden digest not enforced
+//	realtor-scen bless -all                 # re-bless every golden from a
+//	                                        # fresh sim run (review the diff!)
+//	realtor-scen export -name my-case cx.json  # fuzz counterexample → package
+//
+// The gate fails a package on any invariant-oracle violation, any
+// expect-band miss, or (sim only) any drift from golden.json beyond the
+// golden's per-metric tolerances; the failure prints a per-metric diff
+// table. Exit status: 0 clean, 1 gate failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"realtor/internal/fuzzscen"
+	"realtor/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	if len(args) == 0 {
+		usage(errw)
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		return runList(args[1:], out, errw)
+	case "run":
+		return runRun(args[1:], out, errw, false)
+	case "bless":
+		return runRun(args[1:], out, errw, true)
+	case "export":
+		return runExport(args[1:], out, errw)
+	}
+	fmt.Fprintf(errw, "realtor-scen: unknown command %q\n", args[0])
+	usage(errw)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: realtor-scen <list|run|bless|export> [flags] [package...]")
+}
+
+func runList(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", "scenarios", "package root directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	dirs, err := scenario.List(*dir)
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+		return 1
+	}
+	for _, d := range dirs {
+		p, err := scenario.LoadPackage(d)
+		if err != nil {
+			fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+			return 1
+		}
+		golden := "golden"
+		if p.Golden == nil {
+			golden = "UNBLESSED"
+		}
+		fmt.Fprintf(out, "%-20s %-8s %-10s %s\n", p.Spec.Name, p.Spec.Protocol, golden, p.Spec.Description)
+	}
+	return 0
+}
+
+// runRun gates (or, with bless, re-blesses) the selected packages.
+func runRun(args []string, out, errw io.Writer, bless bool) int {
+	verb := "run"
+	if bless {
+		verb = "bless"
+	}
+	fs := flag.NewFlagSet(verb, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", "scenarios", "package root directory")
+	backend := fs.String("backend", "sim", "backend: sim | live")
+	shards := fs.Int("shards", 1, "sim kernel shard count")
+	all := fs.Bool("all", false, "select every package under -dir")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if bless && *backend != "sim" {
+		fmt.Fprintln(errw, "realtor-scen: goldens are blessed from the deterministic sim backend only")
+		return 2
+	}
+	be, err := scenario.Backend(*backend, *shards)
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+		return 2
+	}
+	dirs, code := selectPackages(fs.Args(), *dir, *all, errw)
+	if code != 0 {
+		return code
+	}
+	failures := 0
+	for _, d := range dirs {
+		p, err := scenario.LoadPackage(d)
+		if err != nil {
+			fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+			return 1
+		}
+		res, err := scenario.Run(p, be, *shards)
+		if err != nil {
+			fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+			return 1
+		}
+		switch {
+		case bless:
+			// A blessed golden must still be an oracle-clean, in-band run:
+			// blessing a broken scenario would enshrine the breakage.
+			if res.Outcome.Failed() || len(res.BandErrs) > 0 {
+				fmt.Fprintf(out, "FAIL  %s (refusing to bless)\n%s", p.Spec.Name, res.Explain())
+				failures++
+				continue
+			}
+			if err := scenario.Bless(p, res.Summary); err != nil {
+				fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(out, "bless %s  digest %s  admission %.2f%%\n",
+				p.Spec.Name, res.Summary.TraceDigest, res.Summary.AdmissionPct)
+		case res.Failed():
+			fmt.Fprintf(out, "FAIL  %s (%s, %d shard(s))\n%s", p.Spec.Name, res.Backend, *shards, res.Explain())
+			failures++
+		default:
+			fmt.Fprintf(out, "ok    %s (%s, %d shard(s))  admission %.2f%%  %.2f units/task\n",
+				p.Spec.Name, res.Backend, *shards, res.Summary.AdmissionPct, res.Summary.UnitsPerTask)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(out, "%d of %d package(s) failed the gate\n", failures, len(dirs))
+		return 1
+	}
+	return 0
+}
+
+func selectPackages(names []string, root string, all bool, errw io.Writer) ([]string, int) {
+	if all == (len(names) > 0) {
+		fmt.Fprintln(errw, "realtor-scen: name packages or pass -all (not both, not neither)")
+		return nil, 2
+	}
+	if all {
+		dirs, err := scenario.List(root)
+		if err != nil {
+			fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+			return nil, 1
+		}
+		if len(dirs) == 0 {
+			fmt.Fprintf(errw, "realtor-scen: no packages under %s\n", root)
+			return nil, 1
+		}
+		return dirs, 0
+	}
+	dirs := make([]string, 0, len(names))
+	for _, n := range names {
+		dirs = append(dirs, filepath.Join(root, n))
+	}
+	return dirs, 0
+}
+
+// runExport converts a fuzz counterexample JSON into a package.
+func runExport(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", "scenarios", "package root directory")
+	name := fs.String("name", "", "package name (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *name == "" || fs.NArg() != 1 {
+		fmt.Fprintln(errw, "usage: realtor-scen export -name <pkg> <counterexample.json>")
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+		return 1
+	}
+	s, err := fuzzscen.Decode(data)
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+		return 1
+	}
+	pdir, err := scenario.WritePackage(*dir, scenario.Export(*name, s))
+	if err != nil {
+		fmt.Fprintf(errw, "realtor-scen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "wrote %s — bless it with: realtor-scen bless %s\n",
+		filepath.Join(pdir, scenario.SpecFile), *name)
+	return 0
+}

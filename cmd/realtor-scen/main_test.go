@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"realtor/internal/fuzzscen"
+	"realtor/internal/scenario"
+)
+
+const scenRoot = "../../scenarios"
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestCLIListAndRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full package sweep")
+	}
+	code, out, errs := runCLI(t, "list", "-dir", scenRoot)
+	if code != 0 {
+		t.Fatalf("list exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "baseline-poisson") || !strings.Contains(out, "dht-churn") {
+		t.Fatalf("list output missing packages:\n%s", out)
+	}
+	code, out, errs = runCLI(t, "run", "-dir", scenRoot, "-all", "-shards", "2")
+	if code != 0 {
+		t.Fatalf("run -all exit %d:\n%s%s", code, out, errs)
+	}
+	if strings.Count(out, "ok    ") < 8 {
+		t.Fatalf("expected ≥ 8 gated packages:\n%s", out)
+	}
+}
+
+// The gate exits 1 and prints the per-metric diff table when a golden
+// disagrees — exercised end to end through a copied package with a
+// perturbed golden.
+func TestCLIGateFailsOnPerturbedGolden(t *testing.T) {
+	root := t.TempDir()
+	src, err := scenario.LoadPackage(filepath.Join(scenRoot, "baseline-poisson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.WritePackage(root, src.Spec); err != nil {
+		t.Fatal(err)
+	}
+	g := *src.Golden
+	g.Summary.AdmissionPct -= 2 // shift the admission band's golden value
+	g.Summary.Admitted -= 5
+	dst := &scenario.Package{Dir: filepath.Join(root, src.Spec.Name)}
+	if err := scenario.Bless(dst, g.Summary); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "run", "-dir", root, "baseline-poisson")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{"FAIL", "golden drift", "admission_pct", "admitted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExportThenBless(t *testing.T) {
+	root := t.TempDir()
+	cx := filepath.Join(root, "cx.json")
+	s := fuzzscen.Generate(5)
+	if err := os.WriteFile(cx, []byte(s.JSON()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errs := runCLI(t, "export", "-dir", root, "-name", "from-fuzz", cx)
+	if code != 0 {
+		t.Fatalf("export exit %d: %s", code, errs)
+	}
+	code, out, errs := runCLI(t, "bless", "-dir", root, "from-fuzz")
+	if code != 0 {
+		t.Fatalf("bless exit %d: %s%s", code, errs, out)
+	}
+	code, out, _ = runCLI(t, "run", "-dir", root, "from-fuzz")
+	if code != 0 {
+		t.Fatalf("gate exit %d after bless:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok    from-fuzz") {
+		t.Fatalf("unexpected gate output:\n%s", out)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"run"},              // neither -all nor names
+		{"run", "-all", "x"}, // both
+		{"bless", "-backend", "live", "-all"},
+		{"export", "-name", ""},
+		{"run", "-backend", "fpga", "-all"},
+		{"run", "-shards", "0", "-all"},
+		{"run", "-backend", "live", "-shards", "4", "-all"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

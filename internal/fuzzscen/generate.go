@@ -84,13 +84,16 @@ func Generate(seed int64) Scenario {
 	// or not an overlay lands) so the stream advances identically for
 	// every scenario. Most scenarios keep flood-REALTOR — the
 	// differential and the label-sensitive metamorphic relations only
-	// run there — while about a quarter swap in an overlay to fuzz the
-	// DHT and the hierarchy under the invariant oracle.
+	// run there — while about a third swap in an overlay to fuzz the
+	// DHT, the hierarchy, and one-level federation under the invariant
+	// oracle.
 	switch r.Intn(8) {
 	case 0:
 		s.Discovery = "dht"
 	case 1:
 		s.Discovery = "hier"
+	case 2:
+		s.Discovery = "fed"
 	}
 
 	s.Events = generateEvents(r, s)

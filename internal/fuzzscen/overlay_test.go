@@ -14,12 +14,12 @@ func TestGenerateDrawsOverlayProtocols(t *testing.T) {
 	for seed := int64(1); seed <= n; seed++ {
 		counts[Generate(seed).Discovery]++
 	}
-	if counts["dht"] == 0 || counts["hier"] == 0 {
+	if counts["dht"] == 0 || counts["hier"] == 0 || counts["fed"] == 0 {
 		t.Fatalf("overlay draws missing entirely: %v", counts)
 	}
-	overlay := counts["dht"] + counts["hier"]
-	if frac := float64(overlay) / n; frac < 0.10 || frac > 0.45 {
-		t.Fatalf("overlay fraction %.2f outside [0.10, 0.45]: %v", frac, counts)
+	overlay := counts["dht"] + counts["hier"] + counts["fed"]
+	if frac := float64(overlay) / n; frac < 0.20 || frac > 0.55 {
+		t.Fatalf("overlay fraction %.2f outside [0.20, 0.55]: %v", frac, counts)
 	}
 }
 
@@ -35,7 +35,7 @@ func TestValidateRejectsUnknownDiscovery(t *testing.T) {
 // useful work (something admitted when something was offered).
 func TestOverlayScenariosReplayDeterministically(t *testing.T) {
 	ran := map[string]int{}
-	for seed := int64(1); seed <= 100 && (ran["dht"] < 2 || ran["hier"] < 2); seed++ {
+	for seed := int64(1); seed <= 150 && (ran["dht"] < 2 || ran["hier"] < 2 || ran["fed"] < 2); seed++ {
 		s := Generate(seed)
 		if s.Discovery == "" || ran[s.Discovery] >= 2 {
 			continue
@@ -52,7 +52,7 @@ func TestOverlayScenariosReplayDeterministically(t *testing.T) {
 			t.Fatalf("seed %d (%s): nothing admitted of %d offered", seed, s.Discovery, a.Offered)
 		}
 	}
-	if ran["dht"] < 2 || ran["hier"] < 2 {
+	if ran["dht"] < 2 || ran["hier"] < 2 || ran["fed"] < 2 {
 		t.Fatalf("generator sweep surfaced too few overlay scenarios: %v", ran)
 	}
 }
@@ -75,7 +75,7 @@ func TestDifferentialOverlayProjection(t *testing.T) {
 // nodes by ID (hash ring, ID-block communities), so relabeling is not
 // an isomorphism for them and radius floods never happen.
 func TestMetamorphicGuardsSkipOverlays(t *testing.T) {
-	for _, disc := range []string{"dht", "hier"} {
+	for _, disc := range []string{"dht", "hier", "fed"} {
 		s := Generate(2)
 		s.Discovery = disc
 		if why, ok := CheckRelabel(s, 99); !ok {

@@ -12,11 +12,13 @@ import (
 	"realtor/internal/check"
 	"realtor/internal/core"
 	"realtor/internal/engine"
+	"realtor/internal/federation"
 	"realtor/internal/metrics"
 	"realtor/internal/policy"
 	"realtor/internal/protocol"
 	"realtor/internal/protocol/dht"
 	"realtor/internal/protocol/hier"
+	"realtor/internal/topology"
 )
 
 // Overlay sizing for fuzz-scale meshes (tens of nodes): communities of
@@ -39,6 +41,16 @@ func Builder(s Scenario) engine.Builder {
 			Protocol: cfg, N: s.Nodes(),
 			GroupSize: fuzzGroupSize, Branch: fuzzBranch,
 		}))
+	case "fed":
+		groups := hier.Groups(s.Nodes(), fuzzGroupSize)
+		return wrapPolicies(s, func() protocol.Discovery {
+			return federation.New(federation.Config{
+				Protocol: cfg,
+				GatewayFunc: func(self topology.NodeID) []topology.NodeID {
+					return federation.GatewaysFor(self, groups)
+				},
+			})
+		})
 	}
 	return wrapPolicies(s, func() protocol.Discovery { return core.New(cfg) })
 }

@@ -90,18 +90,30 @@ type Scenario struct {
 	HelpInit       float64 `json:"help_init"`
 
 	// Discovery selects the protocol under test: "" (REALTOR, the
-	// default), "dht" (the Chord-style overlay), or "hier" (k-level
+	// default), "dht" (the Chord-style overlay), "hier" (k-level
 	// hierarchical REALTOR, which also scopes engine floods to its
-	// level-0 communities). The fast-vs-reference differential and the
-	// label-sensitive metamorphic relations stay REALTOR-only — overlay
-	// scenarios exercise the invariant oracle and the engine instead.
+	// level-0 communities), or "fed" (one-level federation over
+	// contiguous neighbor groups). The fast-vs-reference differential
+	// and the label-sensitive metamorphic relations stay REALTOR-only —
+	// overlay scenarios exercise the invariant oracle and the engine
+	// instead.
 	Discovery string `json:"discovery,omitempty"`
 
 	// Workload: Poisson arrivals at Lambda tasks/s of mean size
-	// MeanSize seconds, uniformly over the nodes.
-	Lambda   float64 `json:"lambda"`
-	MeanSize float64 `json:"mean_size"`
-	WorkSeed int64   `json:"work_seed"`
+	// MeanSize seconds, uniformly over the nodes — unless Load is set,
+	// which replaces the whole generator with a declarative spec
+	// (MMPP, on/off bursts, diurnal, heavy tail, hot-spot skew; see
+	// workload.Spec). Lambda/MeanSize are ignored when Load is set.
+	Lambda   float64        `json:"lambda"`
+	MeanSize float64        `json:"mean_size"`
+	WorkSeed int64          `json:"work_seed"`
+	Load     *workload.Spec `json:"load,omitempty"`
+
+	// Capacities, when non-empty, assigns heterogeneous per-node queue
+	// capacities: entry i%len(Capacities) goes to node i, so a short
+	// list tiles a striped capacity profile over any mesh. Sim backend
+	// only — the live cluster's hosts share one QueueCapacity.
+	Capacities []float64 `json:"capacities,omitempty"`
 
 	// Policies optionally wraps every protocol instance (fast path,
 	// reference, and mutant alike — the differential stays exact with
@@ -134,7 +146,7 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("fuzzscen: queue capacity %v", s.QueueCapacity)
 	case s.Threshold <= 0 || s.Threshold > 1:
 		return fmt.Errorf("fuzzscen: threshold %v", s.Threshold)
-	case s.Lambda <= 0 || s.MeanSize <= 0:
+	case s.Load == nil && (s.Lambda <= 0 || s.MeanSize <= 0):
 		return fmt.Errorf("fuzzscen: workload lambda=%v meanSize=%v", s.Lambda, s.MeanSize)
 	}
 	if s.Policies != nil {
@@ -143,11 +155,21 @@ func (s Scenario) Validate() error {
 		}
 	}
 	switch s.Discovery {
-	case "", "dht", "hier":
+	case "", "dht", "hier", "fed":
 	default:
 		return fmt.Errorf("fuzzscen: unknown discovery protocol %q", s.Discovery)
 	}
 	n := s.Nodes()
+	if s.Load != nil {
+		if err := s.Load.Validate(n); err != nil {
+			return fmt.Errorf("fuzzscen: %w", err)
+		}
+	}
+	for i, c := range s.Capacities {
+		if c <= 0 {
+			return fmt.Errorf("fuzzscen: capacity %d is %v, want positive", i, c)
+		}
+	}
 	for i, ev := range s.Events {
 		switch ev.Op {
 		case "kill", "flap", "exhaust":
@@ -237,18 +259,30 @@ func (s Scenario) EngineConfig(g *topology.Graph) engine.Config {
 		FloodRadius:   s.FloodRadius,
 		Seed:          s.EngineSeed,
 	}
-	if s.Discovery == "hier" {
-		// The hierarchy scopes floods to its level-0 communities via
-		// engine groups; a radius limit on top would double-scope them.
+	if s.Discovery == "hier" || s.Discovery == "fed" {
+		// Both overlays scope floods to their communities via engine
+		// groups; a radius limit on top would double-scope them.
 		cfg.Groups = hier.Groups(s.Nodes(), fuzzGroupSize)
 		cfg.FloodRadius = 0
+	}
+	if len(s.Capacities) > 0 {
+		caps := make([]float64, s.Nodes())
+		for i := range caps {
+			caps[i] = s.Capacities[i%len(s.Capacities)]
+		}
+		cfg.Capacities = caps
 	}
 	return cfg
 }
 
-// Workload rebuilds the arrival source.
+// Workload rebuilds the arrival source: the declarative Load spec when
+// one is set, the paper's plain Poisson otherwise.
 func (s Scenario) Workload(g *topology.Graph) workload.Source {
-	return workload.NewPoisson(s.Lambda, s.MeanSize, g.N(), rng.New(s.WorkSeed).Derive("fuzz-load"))
+	seed := rng.New(s.WorkSeed).Derive("fuzz-load")
+	if s.Load != nil {
+		return s.Load.Build(g.N(), seed)
+	}
+	return workload.NewPoisson(s.Lambda, s.MeanSize, g.N(), seed)
 }
 
 // Attacks compiles the fault schedule into attack scenarios ready to

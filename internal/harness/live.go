@@ -74,6 +74,9 @@ func (b liveBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hoo
 	if n < 2 {
 		return nil, fmt.Errorf("harness: live backend needs ≥ 2 nodes, scenario has %d", n)
 	}
+	if len(s.Capacities) > 0 {
+		return nil, fmt.Errorf("harness: live backend does not support per-node capacities (hosts share one QueueCapacity)")
+	}
 	mkNet, err := transportfactory.New(b.cfg.Transport)
 	if err != nil {
 		return nil, err

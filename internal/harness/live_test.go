@@ -89,12 +89,15 @@ func TestParitySimVsLive(t *testing.T) {
 	}
 }
 
-// quietScenario returns the first generated scenario with no fault
-// events and no message loss.
+// quietScenario returns the first generated flood-REALTOR scenario
+// with no fault events and no message loss. Overlays are excluded: the
+// parity bands describe clock and transport skew on the base protocol,
+// while overlay message counts (gateway escalation, ring maintenance)
+// are legitimately timing-driven and diverge across backends.
 func quietScenario(maxSeed int64) (fuzzscen.Scenario, bool) {
 	for seed := int64(1); seed <= maxSeed; seed++ {
 		s := fuzzscen.Generate(seed)
-		if len(s.Events) == 0 && s.LossProb == 0 {
+		if len(s.Events) == 0 && s.LossProb == 0 && s.Discovery == "" {
 			return s, true
 		}
 	}

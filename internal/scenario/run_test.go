@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"realtor/internal/fuzzscen"
+	"realtor/internal/harness"
+)
+
+// Every committed package passes its gate — oracle, bands, and golden —
+// at shard counts 1 and 4, and the two summaries are identical field
+// for field. This is the acceptance bar the scen-smoke CI job enforces
+// end to end; here it runs in-process so `go test` alone catches drift.
+func TestCommittedPackagesPassGateAtShards1And4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full package sweep")
+	}
+	dirs, err := List(scenRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 8 {
+		t.Fatalf("only %d committed packages, want ≥ 8", len(dirs))
+	}
+	for _, d := range dirs {
+		p, err := LoadPackage(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Golden == nil {
+			t.Fatalf("%s: unblessed package committed", d)
+		}
+		r1, err := Run(p, harness.SimSharded(1), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Failed() {
+			t.Fatalf("%s failed at 1 shard:\n%s", p.Spec.Name, r1.Explain())
+		}
+		r4, err := Run(p, harness.SimSharded(4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.Failed() {
+			t.Fatalf("%s failed at 4 shards:\n%s", p.Spec.Name, r4.Explain())
+		}
+		if r1.Summary != r4.Summary {
+			t.Fatalf("%s: summaries differ across shard counts:\n 1: %+v\n 4: %+v",
+				p.Spec.Name, r1.Summary, r4.Summary)
+		}
+	}
+}
+
+// A deliberately perturbed golden makes the gate fail with a per-metric
+// diff report naming exactly the shifted metrics — the regression
+// gate's teeth, demonstrated on a real committed package.
+func TestPerturbedGoldenFailsWithDiffReport(t *testing.T) {
+	p, err := LoadPackage(scenRoot + "/baseline-poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := *p.Golden
+	perturbed.Summary.Admitted += 3
+	perturbed.Summary.AdmissionPct += 1.25
+	p.Golden = &perturbed
+	res, err := Run(p, harness.SimSharded(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("perturbed golden passed the gate")
+	}
+	if len(res.BandErrs) != 0 || res.Outcome.Failed() {
+		t.Fatalf("failure must come from golden drift alone: bands %v, oracle %v",
+			res.BandErrs, res.Outcome.Violations)
+	}
+	rep := res.Explain()
+	if !strings.Contains(rep, "golden drift") ||
+		!strings.Contains(rep, "admitted") || !strings.Contains(rep, "admission_pct") {
+		t.Fatalf("report does not name the drifted metrics:\n%s", rep)
+	}
+	var failed []string
+	for _, d := range res.Diffs {
+		if !d.OK {
+			failed = append(failed, d.Metric)
+		}
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failed metrics %v, want exactly the two perturbed ones", failed)
+	}
+}
+
+// An exported fuzz scenario, round-tripped through a package directory
+// on disk, reproduces the original run exactly: same trace digest, same
+// stats. This is the property that makes export a faithful bridge from
+// counterexample to regression package.
+func TestExportedPackageReproducesTraceDigest(t *testing.T) {
+	for _, seed := range []int64{3, 7} {
+		s := fuzzscen.Generate(seed)
+		dig := &Digest{}
+		out, err := harness.RunCheckedOpts(harness.Sim(), s, fuzzscen.Builder(s),
+			harness.RunOptions{Trace: dig})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := NewSummary(out.Stats, dig)
+
+		dir, err := WritePackage(t.TempDir(), Export("exported-probe", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := LoadPackage(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p, harness.Sim(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary != direct {
+			t.Fatalf("seed %d: exported package diverges from the direct run:\n direct %+v\n pkg    %+v",
+				seed, direct, res.Summary)
+		}
+	}
+}
+
+// Bless writes a canonical golden and preserves previously declared
+// tolerances across re-blessing.
+func TestBlessWritesGoldenAndKeepsTolerances(t *testing.T) {
+	dir, err := WritePackage(t.TempDir(), Export("bless-probe", fuzzscen.Generate(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Golden != nil {
+		t.Fatal("fresh package already has a golden")
+	}
+	res, err := Run(p, harness.Sim(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Bless(p, res.Summary); err != nil {
+		t.Fatal(err)
+	}
+	p.Golden.Tolerances = map[string]float64{"message_units": 2}
+	if err := Bless(p, res.Summary); err != nil { // persist the tolerance
+		t.Fatal(err)
+	}
+	re, err := LoadPackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Golden == nil || re.Golden.Summary != res.Summary {
+		t.Fatal("blessed golden did not round-trip")
+	}
+	if re.Golden.Tolerances["message_units"] != 2 {
+		t.Fatalf("tolerances lost across re-bless: %v", re.Golden.Tolerances)
+	}
+	r2, err := Run(re, harness.Sim(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Failed() {
+		t.Fatalf("freshly blessed package fails its own gate:\n%s", r2.Explain())
+	}
+}
+
+// A package directory must be named after its spec, and live runs check
+// bands only (no golden diff — wall-clock runs are not digest-stable).
+func TestLoadPackageNameMismatchAndLiveGatePolicy(t *testing.T) {
+	root := t.TempDir()
+	dir, err := WritePackage(root, Export("true-name", fuzzscen.Generate(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := root + "/wrong-name"
+	if err := os.Rename(dir, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPackage(renamed); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("err = %v, want name-mismatch error", err)
+	}
+
+	p, err := LoadPackage(scenRoot + "/baseline-poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, fakeLive{harness.SimSharded(1)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diffs != nil {
+		t.Fatal("golden diff applied on a non-sim backend")
+	}
+	if res.Failed() {
+		t.Fatalf("bands-only gate failed:\n%s", res.Explain())
+	}
+}
+
+// fakeLive runs on the deterministic engine but reports a live name, so
+// the gate-policy test needs no wall-clock cluster.
+type fakeLive struct{ harness.Backend }
+
+func (fakeLive) Name() string { return "live" }

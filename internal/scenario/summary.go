@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"realtor/internal/metrics"
+	"realtor/internal/trace"
+)
+
+// Digest accumulates an order-insensitive fingerprint of a run's trace:
+// the mod-2⁶⁴ sum of each event's FNV-1a hash, plus the event count.
+// Order insensitivity is load-bearing — the sharded sim backend fires
+// hooks inline from shard workers, so event ORDER varies with the shard
+// count while event CONTENT is byte-identical; summing per-event hashes
+// makes the digest a function of the multiset, which the kernel does
+// promise. It implements trace.Recorder and is driven under the harness
+// Hooks mutex, so it needs no locking of its own.
+type Digest struct {
+	sum uint64
+	n   uint64
+}
+
+var _ trace.Recorder = (*Digest)(nil)
+
+// Record implements trace.Recorder.
+func (d *Digest) Record(ev trace.Event) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%g|%s|%d|%d|%g|%s",
+		float64(ev.At), ev.Kind, ev.Node, ev.Peer, ev.Size, ev.Info)
+	d.sum += h.Sum64()
+	d.n++
+}
+
+// Sum returns the digest as 16 hex digits.
+func (d *Digest) Sum() string { return fmt.Sprintf("%016x", d.sum) }
+
+// Events returns how many events were folded in.
+func (d *Digest) Events() uint64 { return d.n }
+
+// Summary is the canonical single-run record a golden pins: the
+// paper-facing aggregates plus the trace digest. On the deterministic
+// simulator every field is bit-reproducible at any shard count; on the
+// live backend only the band checks consume it.
+type Summary struct {
+	Offered      uint64  `json:"offered"`
+	Admitted     uint64  `json:"admitted"`
+	Rejected     uint64  `json:"rejected"`
+	Migrated     uint64  `json:"migrated"`
+	HelpMsgs     uint64  `json:"help_msgs"`
+	PledgeMsgs   uint64  `json:"pledge_msgs"`
+	AdvertMsgs   uint64  `json:"advert_msgs"`
+	ControlMsgs  uint64  `json:"control_msgs"`
+	MessageUnits float64 `json:"message_units"`
+	AdmissionPct float64 `json:"admission_pct"`
+	UnitsPerTask float64 `json:"units_per_task"`
+	RejectPct    float64 `json:"reject_pct"`
+	TraceEvents  uint64  `json:"trace_events"`
+	TraceDigest  string  `json:"trace_digest"`
+}
+
+// NewSummary folds run stats and the trace digest into the canonical
+// record.
+func NewSummary(st metrics.RunStats, d *Digest) Summary {
+	rejectPct := 0.0
+	if st.Offered > 0 {
+		rejectPct = 100 * float64(st.Rejected) / float64(st.Offered)
+	}
+	return Summary{
+		Offered:      st.Offered,
+		Admitted:     st.Admitted,
+		Rejected:     st.Rejected,
+		Migrated:     st.Migrated,
+		HelpMsgs:     st.HelpMsgs,
+		PledgeMsgs:   st.PledgeMsgs,
+		AdvertMsgs:   st.AdvertMsgs,
+		ControlMsgs:  st.ControlMsgs,
+		MessageUnits: st.MessageUnits,
+		AdmissionPct: 100 * st.AdmissionProbability(),
+		UnitsPerTask: st.CostPerAdmitted(),
+		RejectPct:    rejectPct,
+		TraceEvents:  d.Events(),
+		TraceDigest:  d.Sum(),
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+)
+
+func TestOnOffSilentOffWindows(t *testing.T) {
+	const onFor, offFor = 10.0, 30.0
+	o := NewOnOff(5, onFor, offFor, 2, 25, rng.New(1))
+	cycle := onFor + offFor
+	for _, task := range drawN(o, 20000) {
+		phase := math.Mod(float64(task.Arrive), cycle)
+		if phase > onFor {
+			t.Fatalf("arrival at %.3f falls in an off window (phase %.3f)", float64(task.Arrive), phase)
+		}
+	}
+}
+
+func TestOnOffEmpiricalRate(t *testing.T) {
+	// Long-run rate is Lambda scaled by the on-duty fraction.
+	sp := Spec{Kind: "onoff", Lambda: 8, OnFor: 10, OffFor: 30, MeanSize: 2}
+	const n = 100000
+	tasks := drawN(sp.Build(25, rng.New(2)), n)
+	rate := float64(n) / float64(tasks[n-1].Arrive)
+	want := sp.MeanRate() // 8 * 10/40 = 2
+	if math.Abs(rate-want) > 0.05*want {
+		t.Fatalf("on/off empirical rate %.3f, want ≈%.3f", rate, want)
+	}
+}
+
+func TestOnOffMonotoneAndSeeded(t *testing.T) {
+	a := drawN(NewOnOff(5, 10, 20, 2, 25, rng.New(3)), 2000)
+	b := drawN(NewOnOff(5, 10, 20, 2, 25, rng.New(3)), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs for same seed", i)
+		}
+		if i > 0 && a[i].Arrive < a[i-1].Arrive {
+			t.Fatalf("arrivals decrease at %d", i)
+		}
+	}
+}
+
+func TestOnOffInvalidParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewOnOff(0, 10, 10, 2, 25, rng.New(1)) },
+		func() { NewOnOff(5, 0, 10, 2, 25, rng.New(1)) },
+		func() { NewOnOff(5, 10, 0, 2, 25, rng.New(1)) },
+		func() { NewOnOff(5, 10, 10, 0, 25, rng.New(1)) },
+		func() { NewOnOff(5, 10, 10, 2, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiurnalEmpiricalRate(t *testing.T) {
+	// The sinusoid integrates to zero over whole periods, so the long-run
+	// rate is the base rate.
+	d := NewDiurnal(6, 0.8, 200, 2, 25, rng.New(4))
+	const n = 120000
+	tasks := drawN(d, n)
+	rate := float64(n) / float64(tasks[n-1].Arrive)
+	if math.Abs(rate-6) > 0.3 {
+		t.Fatalf("diurnal empirical rate %.3f, want ≈6", rate)
+	}
+}
+
+func TestDiurnalPeakTroughContrast(t *testing.T) {
+	// Count arrivals in the peak quarter of the cycle (phase around P/4)
+	// vs the trough quarter (around 3P/4): with amplitude 0.8 the ratio
+	// of instantaneous rates is (1+0.8·sin)/(1-0.8·sin) averaged over the
+	// quarters — comfortably above 3.
+	const period = 200.0
+	d := NewDiurnal(6, 0.8, period, 2, 25, rng.New(5))
+	var peak, trough int
+	for _, task := range drawN(d, 120000) {
+		phase := math.Mod(float64(task.Arrive), period) / period
+		switch {
+		case phase >= 0.125 && phase < 0.375:
+			peak++
+		case phase >= 0.625 && phase < 0.875:
+			trough++
+		}
+	}
+	if trough == 0 || float64(peak)/float64(trough) < 3 {
+		t.Fatalf("diurnal contrast too weak: peak %d vs trough %d", peak, trough)
+	}
+}
+
+func TestDiurnalSeededDeterminism(t *testing.T) {
+	a := drawN(NewDiurnal(6, 0.5, 100, 2, 25, rng.New(6)), 2000)
+	b := drawN(NewDiurnal(6, 0.5, 100, 2, 25, rng.New(6)), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs for same seed", i)
+		}
+	}
+}
+
+func TestDiurnalInvalidParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDiurnal(0, 0.5, 100, 2, 25, rng.New(1)) },
+		func() { NewDiurnal(6, 1.0, 100, 2, 25, rng.New(1)) }, // amp must stay < 1
+		func() { NewDiurnal(6, -0.1, 100, 2, 25, rng.New(1)) },
+		func() { NewDiurnal(6, 0.5, 0, 2, 25, rng.New(1)) },
+		func() { NewDiurnal(6, 0.5, 100, 0, 25, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHotSpotSetConcentration(t *testing.T) {
+	// With p=0.6 aimed at 3 hot nodes of 25, the hot set receives
+	// p + (1-p)·3/25 = 0.648 of the traffic, evenly within the set.
+	hot := []topology.NodeID{2, 7, 11}
+	sel := HotSpotSet(hot, 0.6, 25, rng.New(7))
+	counts := map[topology.NodeID]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[sel(uint64(i))]++
+	}
+	inSet := 0
+	for _, h := range hot {
+		inSet += counts[h]
+	}
+	got := float64(inSet) / n
+	if math.Abs(got-0.648) > 0.02 {
+		t.Fatalf("hot-set fraction %.4f, want ≈0.648", got)
+	}
+	// Even split inside the set: each hot node ≈ inSet/3.
+	for _, h := range hot {
+		if share := float64(counts[h]) / float64(inSet); math.Abs(share-1.0/3) > 0.03 {
+			t.Fatalf("hot node %d share %.3f, want ≈1/3", h, share)
+		}
+	}
+}
+
+func TestHotSpotSetInvalid(t *testing.T) {
+	for _, f := range []func(){
+		func() { HotSpotSet(nil, 0.5, 25, rng.New(1)) },
+		func() { HotSpotSet([]topology.NodeID{1}, -0.1, 25, rng.New(1)) },
+		func() { HotSpotSet([]topology.NodeID{1}, 1.1, 25, rng.New(1)) },
+		func() { HotSpotSet([]topology.NodeID{25}, 0.5, 25, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMMPPSeededDeterminism(t *testing.T) {
+	a := drawN(NewMMPP(2, 20, 50, 5, 25, rng.New(8)), 2000)
+	b := drawN(NewMMPP(2, 20, 50, 5, 25, rng.New(8)), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs for same seed", i)
+		}
+	}
+}
+
+func TestMMPPEmpiricalRateWithinSpec(t *testing.T) {
+	sp := Spec{Kind: "mmpp", LambdaLow: 2, LambdaHigh: 14, MeanHold: 40, MeanSize: 2}
+	const n = 150000
+	tasks := drawN(sp.Build(25, rng.New(9)), n)
+	rate := float64(n) / float64(tasks[n-1].Arrive)
+	want := sp.MeanRate() // 8
+	if math.Abs(rate-want) > 0.15*want {
+		t.Fatalf("MMPP empirical rate %.3f, want ≈%.3f", rate, want)
+	}
+}

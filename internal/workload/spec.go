@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+
+	"realtor/internal/rng"
+	"realtor/internal/topology"
+)
+
+// Spec is the declarative, JSON-serialisable description of a workload
+// generator — the form scenario packages commit to disk. Kind selects
+// the generator; the remaining fields are interpreted per kind and the
+// unused ones must stay zero (Validate enforces it field by field, so a
+// misspelled or misplaced parameter fails loudly rather than being
+// silently ignored).
+//
+//	poisson    Lambda, MeanSize
+//	mmpp       LambdaLow, LambdaHigh, MeanHold, MeanSize
+//	onoff      Lambda, OnFor, OffFor, MeanSize
+//	diurnal    Lambda (base rate), Amplitude, Period, MeanSize
+//	heavytail  Lambda, Shape, MinSize
+//
+// Any kind may add hot-spot skew: Hot lists the hot node IDs and
+// HotFraction is the fraction of tasks aimed at that set (uniformly
+// within it); the rest spread uniformly over all nodes.
+type Spec struct {
+	Kind string `json:"kind"`
+
+	Lambda   float64 `json:"lambda,omitempty"`
+	MeanSize float64 `json:"mean_size,omitempty"`
+
+	// MMPP.
+	LambdaLow  float64 `json:"lambda_low,omitempty"`
+	LambdaHigh float64 `json:"lambda_high,omitempty"`
+	MeanHold   float64 `json:"mean_hold,omitempty"`
+
+	// On/off bursts.
+	OnFor  float64 `json:"on_for,omitempty"`
+	OffFor float64 `json:"off_for,omitempty"`
+
+	// Diurnal.
+	Period    float64 `json:"period,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+
+	// Heavy tail.
+	Shape   float64 `json:"shape,omitempty"`
+	MinSize float64 `json:"min_size,omitempty"`
+
+	// Hot-spot skew, applicable to every kind.
+	Hot         []int   `json:"hot,omitempty"`
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+}
+
+// MeanRate returns the long-run arrival rate the spec describes —
+// what an empirical rate measurement should converge to.
+func (sp Spec) MeanRate() float64 {
+	switch sp.Kind {
+	case "mmpp":
+		// Equal mean holding times: the chain spends half its time in
+		// each state.
+		return (sp.LambdaLow + sp.LambdaHigh) / 2
+	case "onoff":
+		return sp.Lambda * sp.OnFor / (sp.OnFor + sp.OffFor)
+	default: // poisson, diurnal (sin integrates to zero), heavytail
+		return sp.Lambda
+	}
+}
+
+// fieldErr builds a field-level validation error ("workload.<field>: …").
+func fieldErr(field, format string, args ...any) error {
+	return fmt.Errorf("workload.%s: %s", field, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the spec against an n-node system, reporting the
+// first invalid field with its JSON path.
+func (sp Spec) Validate(n int) error {
+	type req struct {
+		name string
+		val  float64
+	}
+	var need []req // must be positive for this kind
+	var zero []req // must stay zero for this kind
+	size := req{"mean_size", sp.MeanSize}
+	switch sp.Kind {
+	case "poisson":
+		need = []req{{"lambda", sp.Lambda}, size}
+		zero = []req{{"lambda_low", sp.LambdaLow}, {"lambda_high", sp.LambdaHigh},
+			{"mean_hold", sp.MeanHold}, {"on_for", sp.OnFor}, {"off_for", sp.OffFor},
+			{"period", sp.Period}, {"amplitude", sp.Amplitude},
+			{"shape", sp.Shape}, {"min_size", sp.MinSize}}
+	case "mmpp":
+		need = []req{{"lambda_low", sp.LambdaLow}, {"lambda_high", sp.LambdaHigh},
+			{"mean_hold", sp.MeanHold}, size}
+		zero = []req{{"lambda", sp.Lambda}, {"on_for", sp.OnFor}, {"off_for", sp.OffFor},
+			{"period", sp.Period}, {"amplitude", sp.Amplitude},
+			{"shape", sp.Shape}, {"min_size", sp.MinSize}}
+	case "onoff":
+		need = []req{{"lambda", sp.Lambda}, {"on_for", sp.OnFor}, {"off_for", sp.OffFor}, size}
+		zero = []req{{"lambda_low", sp.LambdaLow}, {"lambda_high", sp.LambdaHigh},
+			{"mean_hold", sp.MeanHold}, {"period", sp.Period}, {"amplitude", sp.Amplitude},
+			{"shape", sp.Shape}, {"min_size", sp.MinSize}}
+	case "diurnal":
+		need = []req{{"lambda", sp.Lambda}, {"period", sp.Period}, {"amplitude", sp.Amplitude}, size}
+		zero = []req{{"lambda_low", sp.LambdaLow}, {"lambda_high", sp.LambdaHigh},
+			{"mean_hold", sp.MeanHold}, {"on_for", sp.OnFor}, {"off_for", sp.OffFor},
+			{"shape", sp.Shape}, {"min_size", sp.MinSize}}
+		if sp.Amplitude >= 1 {
+			return fieldErr("amplitude", "%v not in (0,1) — the rate must stay positive", sp.Amplitude)
+		}
+	case "heavytail":
+		need = []req{{"lambda", sp.Lambda}, {"shape", sp.Shape}, {"min_size", sp.MinSize}}
+		zero = []req{{"mean_size", sp.MeanSize}, {"lambda_low", sp.LambdaLow},
+			{"lambda_high", sp.LambdaHigh}, {"mean_hold", sp.MeanHold},
+			{"on_for", sp.OnFor}, {"off_for", sp.OffFor},
+			{"period", sp.Period}, {"amplitude", sp.Amplitude}}
+	case "":
+		return fieldErr("kind", "missing (poisson, mmpp, onoff, diurnal or heavytail)")
+	default:
+		return fieldErr("kind", "unknown generator %q (want poisson, mmpp, onoff, diurnal or heavytail)", sp.Kind)
+	}
+	for _, r := range need {
+		if r.val <= 0 {
+			return fieldErr(r.name, "%v must be positive for kind %q", r.val, sp.Kind)
+		}
+	}
+	for _, r := range zero {
+		if r.val != 0 {
+			return fieldErr(r.name, "%v is not a parameter of kind %q", r.val, sp.Kind)
+		}
+	}
+	if sp.Kind == "mmpp" && sp.LambdaHigh <= sp.LambdaLow {
+		return fieldErr("lambda_high", "%v must exceed lambda_low %v", sp.LambdaHigh, sp.LambdaLow)
+	}
+	switch {
+	case len(sp.Hot) == 0 && sp.HotFraction != 0:
+		return fieldErr("hot_fraction", "set without hot nodes")
+	case len(sp.Hot) > 0 && (sp.HotFraction <= 0 || sp.HotFraction > 1):
+		return fieldErr("hot_fraction", "%v not in (0,1]", sp.HotFraction)
+	}
+	for i, h := range sp.Hot {
+		if h < 0 || h >= n {
+			return fieldErr("hot", "entry %d targets node %d of %d", i, h, n)
+		}
+	}
+	return nil
+}
+
+// Build constructs the generator for an n-node system. The spec must
+// have been validated; a malformed spec panics. Hot-spot skew wraps the
+// base source in a node-rewriting Map driven by a stream derived from
+// the same seed, so two builds from equal (spec, n, seed) are
+// bit-identical.
+func (sp Spec) Build(n int, seed *rng.Stream) Source {
+	if err := sp.Validate(n); err != nil {
+		panic(err)
+	}
+	var src Source
+	switch sp.Kind {
+	case "poisson":
+		src = NewPoisson(sp.Lambda, sp.MeanSize, n, seed)
+	case "mmpp":
+		src = NewMMPP(sp.LambdaLow, sp.LambdaHigh, sp.MeanHold, sp.MeanSize, n, seed)
+	case "onoff":
+		src = NewOnOff(sp.Lambda, sp.OnFor, sp.OffFor, sp.MeanSize, n, seed)
+	case "diurnal":
+		src = NewDiurnal(sp.Lambda, sp.Amplitude, sp.Period, sp.MeanSize, n, seed)
+	case "heavytail":
+		src = NewHeavyTail(sp.Lambda, sp.Shape, sp.MinSize, n, seed)
+	}
+	if len(sp.Hot) == 0 {
+		return src
+	}
+	hot := make([]topology.NodeID, len(sp.Hot))
+	for i, h := range sp.Hot {
+		hot[i] = topology.NodeID(h)
+	}
+	sel := HotSpotSet(hot, sp.HotFraction, n, seed)
+	return NewMap(src, func(t Task) Task {
+		t.Node = sel(t.ID)
+		return t
+	})
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"realtor/internal/rng"
+)
+
+func validSpecs() []Spec {
+	return []Spec{
+		{Kind: "poisson", Lambda: 5, MeanSize: 2},
+		{Kind: "mmpp", LambdaLow: 2, LambdaHigh: 10, MeanHold: 30, MeanSize: 2},
+		{Kind: "onoff", Lambda: 8, OnFor: 10, OffFor: 20, MeanSize: 2},
+		{Kind: "diurnal", Lambda: 5, Amplitude: 0.7, Period: 120, MeanSize: 2},
+		{Kind: "heavytail", Lambda: 5, Shape: 1.5, MinSize: 1},
+		{Kind: "poisson", Lambda: 5, MeanSize: 2, Hot: []int{0, 3}, HotFraction: 0.5},
+	}
+}
+
+func TestSpecValidateAccepts(t *testing.T) {
+	for _, sp := range validSpecs() {
+		if err := sp.Validate(25); err != nil {
+			t.Fatalf("%+v rejected: %v", sp, err)
+		}
+	}
+}
+
+func TestSpecValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		spec  Spec
+		field string // the JSON path the error must name
+	}{
+		{Spec{}, "workload.kind"},
+		{Spec{Kind: "zipf"}, "workload.kind"},
+		{Spec{Kind: "poisson", MeanSize: 2}, "workload.lambda"},
+		{Spec{Kind: "poisson", Lambda: 5}, "workload.mean_size"},
+		{Spec{Kind: "poisson", Lambda: 5, MeanSize: 2, Shape: 1}, "workload.shape"},
+		{Spec{Kind: "mmpp", LambdaLow: 5, LambdaHigh: 2, MeanHold: 30, MeanSize: 2}, "workload.lambda_high"},
+		{Spec{Kind: "mmpp", LambdaLow: 2, LambdaHigh: 10, MeanHold: 30, MeanSize: 2, Lambda: 1}, "workload.lambda"},
+		{Spec{Kind: "onoff", Lambda: 8, OnFor: 10, MeanSize: 2}, "workload.off_for"},
+		{Spec{Kind: "diurnal", Lambda: 5, Amplitude: 1.2, Period: 120, MeanSize: 2}, "workload.amplitude"},
+		{Spec{Kind: "heavytail", Lambda: 5, Shape: 1.5, MinSize: 1, MeanSize: 2}, "workload.mean_size"},
+		{Spec{Kind: "poisson", Lambda: 5, MeanSize: 2, HotFraction: 0.5}, "workload.hot_fraction"},
+		{Spec{Kind: "poisson", Lambda: 5, MeanSize: 2, Hot: []int{1}}, "workload.hot_fraction"},
+		{Spec{Kind: "poisson", Lambda: 5, MeanSize: 2, Hot: []int{30}, HotFraction: 0.5}, "workload.hot"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(25)
+		if err == nil {
+			t.Fatalf("%+v accepted, want error naming %s", c.spec, c.field)
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Fatalf("%+v error %q does not name %s", c.spec, err, c.field)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, sp := range validSpecs() {
+		b, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("round trip not byte-stable:\n %s\n %s", b, b2)
+		}
+	}
+}
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	for _, sp := range validSpecs() {
+		a := drawN(sp.Build(25, rng.New(11)), 500)
+		b := drawN(sp.Build(25, rng.New(11)), 500)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%+v: task %d differs across builds from one seed", sp, i)
+			}
+		}
+	}
+}
+
+func TestSpecBuildHotSkew(t *testing.T) {
+	sp := Spec{Kind: "poisson", Lambda: 5, MeanSize: 2, Hot: []int{1, 2}, HotFraction: 0.7}
+	counts := map[int]int{}
+	const n = 40000
+	for _, task := range drawN(sp.Build(20, rng.New(12)), n) {
+		counts[int(task.Node)]++
+	}
+	got := float64(counts[1]+counts[2]) / n
+	want := 0.7 + 0.3*2.0/20 // direct hits plus uniform spill-over
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("hot skew %.4f, want ≈%.4f", got, want)
+	}
+}
+
+func TestSpecBuildInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Spec{Kind: "zipf"}.Build(25, rng.New(1))
+}
+
+func TestSpecMeanRate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want float64
+	}{
+		{Spec{Kind: "poisson", Lambda: 5, MeanSize: 2}, 5},
+		{Spec{Kind: "mmpp", LambdaLow: 2, LambdaHigh: 10, MeanHold: 30, MeanSize: 2}, 6},
+		{Spec{Kind: "onoff", Lambda: 8, OnFor: 10, OffFor: 30, MeanSize: 2}, 2},
+		{Spec{Kind: "diurnal", Lambda: 5, Amplitude: 0.7, Period: 120, MeanSize: 2}, 5},
+		{Spec{Kind: "heavytail", Lambda: 5, Shape: 1.5, MinSize: 1}, 5},
+	}
+	for _, c := range cases {
+		if got := c.spec.MeanRate(); got != c.want {
+			t.Fatalf("%+v MeanRate %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
