@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"realtor/internal/buildinfo"
 	"sort"
 	"strconv"
 	"strings"
@@ -134,8 +135,13 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	threshold := fs.Float64("threshold", 0,
 		"fail (exit 1) if any benchmark's ns/op regresses by more than this percentage; 0 reports only")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print("benchdiff")
+		return 0
 	}
 	if fs.NArg() != 2 {
 		fmt.Fprintln(errw, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"realtor/internal/attack"
+	"realtor/internal/buildinfo"
 	"realtor/internal/engine"
 	"realtor/internal/experiment"
 	"realtor/internal/plot"
@@ -33,7 +34,12 @@ func main() {
 	reroute := flag.Bool("reroute", true, "reroute arrivals hitting dead nodes")
 	seed := flag.Int64("seed", 1, "random seed")
 	asPlot := flag.Bool("plot", false, "draw the admission timelines as an ASCII chart")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("realtor-attack")
+		return
+	}
 
 	const (
 		duration = 900

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"realtor/internal/agile"
+	"realtor/internal/buildinfo"
 	"realtor/internal/harness"
 	"realtor/internal/trace"
 	"realtor/internal/transportfactory"
@@ -40,7 +41,12 @@ func main() {
 	slack := flag.Float64("slack", 2, "deadline slack in mean task sizes (deadlines study)")
 	victims := flag.Int("victims", 5, "hosts killed in the attack study")
 	traceFile := flag.String("trace", "", "write the unified harness event stream as JSON Lines to this file (same format realtor-trace -json emits)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("realtor-cluster")
+		return
+	}
 
 	cfg := agile.DefaultConfig()
 	cfg.Hosts = *hosts

@@ -43,6 +43,7 @@ import (
 	"runtime"
 	"sync"
 
+	"realtor/internal/buildinfo"
 	"realtor/internal/engine"
 	"realtor/internal/fuzzscen"
 	"realtor/internal/harness"
@@ -123,6 +124,7 @@ func run(args []string, out, errw io.Writer) int {
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines")
 		replay     = fs.String("replay", "", "replay one scenario JSON file instead of generating")
 		verbose    = fs.Bool("v", false, "log every scenario")
+		version    = fs.Bool("version", false, "print version and exit")
 
 		backendName = fs.String("backend", "sim", "execution backend: sim (discrete-event) or live (goroutine cluster)")
 		shards      = fs.Int("shards", 1, "sim backend: shard count for the conservative-parallel kernel (1 = sequential)")
@@ -133,6 +135,10 @@ func run(args []string, out, errw io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print("realtor-fuzz")
+		return 0
 	}
 	if *n <= 0 || *parallel <= 0 {
 		fmt.Fprintln(errw, "realtor-fuzz: -n and -parallel must be positive")

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"realtor/internal/agile"
+	"realtor/internal/buildinfo"
 	"realtor/internal/experiment"
 	"realtor/internal/harness"
 	"realtor/internal/protocol"
@@ -77,7 +78,12 @@ func main() {
 		"worker goroutines for independent simulator runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("realtor-report")
+		return
+	}
 	experiment.SetParallelism(*parallel)
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	defer stopProfiles()

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"realtor/internal/fuzzscen"
+	"realtor/internal/httpapi"
+	"realtor/internal/runsvc"
+	"realtor/internal/scenario"
+)
+
+// TestServerModeByteIdenticalToLocal pins the thin-client contract at
+// one shard and at four: `run -json -server URL pkg` must emit exactly
+// the bytes `run -json pkg` emits, because the daemon runs the same
+// pipeline and serves the same canonical encoder's output.
+func TestServerModeByteIdenticalToLocal(t *testing.T) {
+	root := t.TempDir()
+	name := "client-pkg"
+	if _, err := scenario.WritePackage(root, scenario.Export(name, fuzzscen.Generate(41))); err != nil {
+		t.Fatalf("write package: %v", err)
+	}
+	svc, err := runsvc.New(runsvc.Config{ScenarioRoot: root})
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(httpapi.New(svc))
+	defer ts.Close()
+
+	for _, shards := range []int{1, 4} {
+		sh := fmt.Sprint(shards)
+		code, local, errs := runCLI(t, "run", "-json", "-dir", root, "-shards", sh, name)
+		if code != 0 {
+			t.Fatalf("local run exit %d: %s", code, errs)
+		}
+		code, remote, errs := runCLI(t, "run", "-json", "-server", ts.URL, "-shards", sh, name)
+		if code != 0 {
+			t.Fatalf("server run exit %d: %s", code, errs)
+		}
+		if local != remote {
+			t.Fatalf("shards=%d: server-mode output diverged from local:\n local: %q\nremote: %q",
+				shards, local, remote)
+		}
+		if local == "" || local[len(local)-1] != '\n' {
+			t.Fatalf("shards=%d: -json output not newline-terminated: %q", shards, local)
+		}
+	}
+}
+
+// TestServerModeUsageErrors pins the flag combinations -server rejects.
+func TestServerModeUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"bless", "-server", "http://x", "some-pkg"},
+		{"run", "-server", "http://x", "-all"},
+		{"run", "-server", "http://x"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+}

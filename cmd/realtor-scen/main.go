@@ -14,6 +14,10 @@
 //	realtor-scen bless -all                 # re-bless every golden from a
 //	                                        # fresh sim run (review the diff!)
 //	realtor-scen export -name my-case cx.json  # fuzz counterexample → package
+//	realtor-scen run -json baseline-poisson    # canonical summary JSON on stdout
+//	realtor-scen run -server http://host:7070 baseline-poisson
+//	                                        # submit to a realtord daemon; output
+//	                                        # (and -json bytes) match a local run
 //
 // The gate fails a package on any invariant-oracle violation, any
 // expect-band miss, or (sim only) any drift from golden.json beyond the
@@ -28,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"realtor/internal/buildinfo"
 	"realtor/internal/fuzzscen"
 	"realtor/internal/scenario"
 )
@@ -42,6 +47,9 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 	switch args[0] {
+	case "-version", "--version":
+		fmt.Fprintf(out, "realtor-scen %s\n", buildinfo.Get().String())
+		return 0
 	case "list":
 		return runList(args[1:], out, errw)
 	case "run":
@@ -57,7 +65,7 @@ func run(args []string, out, errw io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: realtor-scen <list|run|bless|export> [flags] [package...]")
+	fmt.Fprintln(w, "usage: realtor-scen <list|run|bless|export|-version> [flags] [package...]")
 }
 
 func runList(args []string, out, errw io.Writer) int {
@@ -99,12 +107,28 @@ func runRun(args []string, out, errw io.Writer, bless bool) int {
 	backend := fs.String("backend", "sim", "backend: sim | live")
 	shards := fs.Int("shards", 1, "sim kernel shard count")
 	all := fs.Bool("all", false, "select every package under -dir")
+	jsonOut := fs.Bool("json", false, "emit canonical summary JSON on stdout (one line per package)")
+	server := fs.String("server", "", "submit to a realtord daemon at this base URL instead of running locally")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if bless && *backend != "sim" {
 		fmt.Fprintln(errw, "realtor-scen: goldens are blessed from the deterministic sim backend only")
 		return 2
+	}
+	if *server != "" {
+		// Thin-client mode: the daemon resolves names against ITS scenario
+		// root, so only names make sense here (-dir and -all are local
+		// concepts, and blessing writes local files from a local run).
+		if bless {
+			fmt.Fprintln(errw, "realtor-scen: bless runs locally; -server does not apply")
+			return 2
+		}
+		if *all || len(fs.Args()) == 0 {
+			fmt.Fprintln(errw, "realtor-scen: -server mode takes explicit package names (the daemon owns the root)")
+			return 2
+		}
+		return runRemote(*server, fs.Args(), *backend, *shards, *jsonOut, out, errw)
 	}
 	be, err := scenario.Backend(*backend, *shards)
 	if err != nil {
@@ -127,12 +151,22 @@ func runRun(args []string, out, errw io.Writer, bless bool) int {
 			fmt.Fprintf(errw, "realtor-scen: %v\n", err)
 			return 1
 		}
+		// In -json mode stdout carries only the canonical summary bytes
+		// (scenario.EncodeSummary form, one line per package — the exact
+		// bytes realtord stores); human verdicts move to stderr.
+		human := out
+		if *jsonOut {
+			human = errw
+			if !bless {
+				out.Write(scenario.EncodeSummary(res.Summary))
+			}
+		}
 		switch {
 		case bless:
 			// A blessed golden must still be an oracle-clean, in-band run:
 			// blessing a broken scenario would enshrine the breakage.
 			if res.Outcome.Failed() || len(res.BandErrs) > 0 {
-				fmt.Fprintf(out, "FAIL  %s (refusing to bless)\n%s", p.Spec.Name, res.Explain())
+				fmt.Fprintf(human, "FAIL  %s (refusing to bless)\n%s", p.Spec.Name, res.Explain())
 				failures++
 				continue
 			}
@@ -140,18 +174,22 @@ func runRun(args []string, out, errw io.Writer, bless bool) int {
 				fmt.Fprintf(errw, "realtor-scen: %v\n", err)
 				return 1
 			}
-			fmt.Fprintf(out, "bless %s  digest %s  admission %.2f%%\n",
+			fmt.Fprintf(human, "bless %s  digest %s  admission %.2f%%\n",
 				p.Spec.Name, res.Summary.TraceDigest, res.Summary.AdmissionPct)
 		case res.Failed():
-			fmt.Fprintf(out, "FAIL  %s (%s, %d shard(s))\n%s", p.Spec.Name, res.Backend, *shards, res.Explain())
+			fmt.Fprintf(human, "FAIL  %s (%s, %d shard(s))\n%s", p.Spec.Name, res.Backend, *shards, res.Explain())
 			failures++
-		default:
-			fmt.Fprintf(out, "ok    %s (%s, %d shard(s))  admission %.2f%%  %.2f units/task\n",
+		case !*jsonOut:
+			fmt.Fprintf(human, "ok    %s (%s, %d shard(s))  admission %.2f%%  %.2f units/task\n",
 				p.Spec.Name, res.Backend, *shards, res.Summary.AdmissionPct, res.Summary.UnitsPerTask)
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(out, "%d of %d package(s) failed the gate\n", failures, len(dirs))
+		dest := out
+		if *jsonOut {
+			dest = errw
+		}
+		fmt.Fprintf(dest, "%d of %d package(s) failed the gate\n", failures, len(dirs))
 		return 1
 	}
 	return 0

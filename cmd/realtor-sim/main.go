@@ -52,6 +52,7 @@ import (
 	"strconv"
 	"strings"
 
+	"realtor/internal/buildinfo"
 	"realtor/internal/engine"
 	"realtor/internal/experiment"
 	"realtor/internal/policy"
@@ -118,7 +119,12 @@ func main() {
 		"extra policy-study contender, e.g. \"bucket:rate=0.5,burst=2;breaker:trip=3\" (with -fig policy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("realtor-sim")
+		return
+	}
 	if *shards < 1 {
 		fmt.Fprintln(os.Stderr, "realtor-sim: -shards must be at least 1")
 		os.Exit(2)

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"realtor/internal/buildinfo"
 	"realtor/internal/engine"
 	"realtor/internal/experiment"
 	"realtor/internal/protocol"
@@ -34,7 +35,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	asJSON := flag.Bool("json", false, "emit JSON Lines instead of text")
 	kinds := flag.String("kinds", "", "comma-separated event kinds to keep (empty = all)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("realtor-trace")
+		return
+	}
 
 	var build engine.Builder
 	for _, p := range experiment.StandardProtocols(protocol.DefaultConfig()) {

@@ -1,0 +1,110 @@
+// Command realtord is the management-plane daemon: an HTTP/JSON front
+// end over the internal/runsvc run service. It queues scenario runs on
+// a bounded worker pool, enforces per-run resource caps, streams live
+// progress, and keeps an append-only run history that survives
+// restarts. The CLIs stay the source of truth for one-shot local runs;
+// the daemon exists so long sweeps and CI gates can share one machine
+// without trampling each other.
+//
+// Usage:
+//
+//	realtord -addr :7070 -scenarios scenarios -history runs.jsonl
+//
+// API:
+//
+//	POST   /runs               submit {"package":...}|{"spec":...}|{"fuzz_seed":...}
+//	GET    /runs               list every run, past and present
+//	GET    /runs/{id}          one run's snapshot
+//	DELETE /runs/{id}          cancel (queued or running)
+//	GET    /runs/{id}/events   server-sent-event stream of snapshots
+//	GET    /runs/{id}/summary  canonical summary bytes (realtor-scen run -json form)
+//	GET    /compare?a=X&b=Y    golden-machinery diff of two summaries
+//	GET    /healthz            liveness + build identity
+//	GET    /metrics            counters, text form
+//
+// Exit status: 0 after a clean signal-driven shutdown, 1 on any setup
+// or serve error, 2 on a usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"realtor/internal/buildinfo"
+	"realtor/internal/httpapi"
+	"realtor/internal/runsvc"
+	"realtor/internal/sim"
+)
+
+func main() {
+	fs := flag.NewFlagSet("realtord", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":7070", "listen address")
+	scenarios := fs.String("scenarios", "scenarios", "scenario package root")
+	history := fs.String("history", "", "append-only run-history JSONL file (empty = in-memory)")
+	workers := fs.Int("workers", 2, "concurrent run workers")
+	queue := fs.Int("queue", 16, "queued submissions beyond the running ones")
+	maxNodes := fs.Int("max-nodes", 0, "reject scenarios with more nodes (0 = unlimited)")
+	maxNodeSeconds := fs.Float64("max-node-seconds", 0, "reject scenarios costing more nodes x duration (0 = unlimited)")
+	maxWall := fs.Duration("max-wall", 0, "fail runs exceeding this wall-clock time (0 = unlimited)")
+	progressEvery := fs.Float64("progress-every", 0, "scaled seconds between progress snapshots (0 = duration/64)")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *version {
+		buildinfo.Print("realtord")
+		return
+	}
+
+	svc, err := runsvc.New(runsvc.Config{
+		ScenarioRoot:   *scenarios,
+		HistoryPath:    *history,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxNodes:       *maxNodes,
+		MaxNodeSeconds: *maxNodeSeconds,
+		MaxWall:        *maxWall,
+		ProgressEvery:  sim.Time(*progressEvery),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "realtord: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: httpapi.New(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("realtord %s listening on %s (scenarios %s)\n",
+		buildinfo.Get().String(), *addr, *scenarios)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("realtord: %s — draining\n", sig)
+		// Stop the run service first: cancelling active runs closes their
+		// watch channels, which ends in-flight SSE streams — otherwise
+		// Shutdown would wait on streams that only end when runs do.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		svc.Close()
+		if err := srv.Shutdown(ctx); err != nil {
+			cancel()
+			fmt.Fprintf(os.Stderr, "realtord: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		cancel()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "realtord: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

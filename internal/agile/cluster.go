@@ -1,6 +1,7 @@
 package agile
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -385,22 +386,43 @@ func (c *Cluster) Drive(lambda, meanSize, duration float64, seed int64) metrics.
 // arrivals are submitted and in-flight negotiations settle, then
 // returns the aggregated stats. The cluster remains running.
 func (c *Cluster) DriveSource(src workload.Source, duration float64) metrics.RunStats {
+	st, _ := c.DriveSourceCtx(context.Background(), src, duration)
+	return st
+}
+
+// DriveSourceCtx is DriveSource under cooperative cancellation: the
+// context is polled before each submission and interrupts the wall-clock
+// wait for the next arrival instant. On cancellation the drive stops
+// submitting immediately, skips the settle wait (in-flight negotiations
+// are abandoned, not resolved), and reports canceled=true with whatever
+// stats had accumulated — partial numbers that must not be compared
+// against a completed run.
+func (c *Cluster) DriveSourceCtx(ctx context.Context, src workload.Source, duration float64) (st metrics.RunStats, canceled bool) {
 	if duration <= 0 {
 		panic("agile: drive duration must be positive")
 	}
 	start := c.now()
 	for {
+		if ctx.Err() != nil {
+			return c.RunStats(), true
+		}
 		t, ok := src.Next()
 		if !ok || float64(t.Arrive) >= duration {
 			break
 		}
 		if delta := start + float64(t.Arrive) - c.now(); delta > 0 {
-			time.Sleep(c.toWall(delta))
+			timer := time.NewTimer(c.toWall(delta))
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return c.RunStats(), true
+			}
 		}
 		// Task IDs are shifted by one so a source emitting ID 0 cannot
 		// collide with "unregistered" sentinels anywhere downstream.
 		c.hosts[int(t.Node)].Submit(Component{ID: t.ID + 1, Cost: t.Size})
 	}
 	c.settle()
-	return c.RunStats()
+	return c.RunStats(), false
 }

@@ -1,0 +1,40 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGetNeverEmpty pins the degradation contract: whatever the build
+// environment, identity fields fall back to readable placeholders
+// instead of empty strings — -version output must never print "()".
+func TestGetNeverEmpty(t *testing.T) {
+	i := Get()
+	if i.Version == "" {
+		t.Fatal("Version is empty, want a version or \"unknown\"")
+	}
+	if !strings.HasPrefix(i.Go, "go") {
+		t.Fatalf("Go = %q, want a go toolchain version", i.Go)
+	}
+	s := i.String()
+	if strings.Contains(s, "()") || s == "" {
+		t.Fatalf("String() = %q, want placeholders over blanks", s)
+	}
+}
+
+// TestStringForms checks the rendering across field combinations.
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Info
+		want string
+	}{
+		{Info{Version: "v1.2.3", Revision: "abc123def456", Go: "go1.24.0"}, "v1.2.3 (abc123def456) go1.24.0"},
+		{Info{Version: "(devel)", Revision: "abc123def456", Dirty: true, Go: "go1.24.0"}, "(devel) (abc123def456, dirty) go1.24.0"},
+		{Info{Version: "unknown", Go: "go1.24.0"}, "unknown (no vcs) go1.24.0"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -121,6 +122,20 @@ type Config struct {
 	// oracle in internal/check attaches to. Nil costs one pointer
 	// comparison on the hot path.
 	Observer Observer
+
+	// OnProgress, when set, receives periodic run-progress snapshots —
+	// sim clock, events fired, stats so far — from quiescent points of
+	// the run loop: between bounded RunUntil chunks on the classic
+	// kernel, at phase barriers on the sharded one. It never fires from
+	// inside event execution, so reading aggregated stats is safe, and
+	// it fires no events of its own, so runs are byte-identical with or
+	// without it.
+	OnProgress func(Progress)
+
+	// ProgressEvery is the minimum sim-time between OnProgress calls
+	// (and between cancellation checks on the classic kernel). 0 picks
+	// a default of Duration/64.
+	ProgressEvery sim.Time
 
 	// Seed drives engine-internal choices (dead-arrival rerouting,
 	// per-node loss streams).
@@ -295,6 +310,10 @@ type Engine struct {
 	pullSrc     workload.Source
 	emitScratch []emitRec
 	outScratch  []outcomeRec
+
+	// canceled is set when RunCtx stopped at a checkpoint because its
+	// context was done; the partial stats skip validation.
+	canceled bool
 }
 
 // Bin is one interval of the optional admission timeline.
@@ -568,25 +587,128 @@ func (e *Engine) settleEnd() sim.Time {
 	return e.cfg.Duration + 2*e.cfg.HopDelay*sim.Time(diam)*sim.Time(tries) + 1
 }
 
+// Progress is one run-progress snapshot handed to Config.OnProgress.
+type Progress struct {
+	Now    sim.Time // sim clock at the checkpoint
+	End    sim.Time // cfg.Duration; the clock runs past it while settling
+	Events uint64   // events fired so far, across every queue
+	Stats  metrics.RunStats
+}
+
 // Run drives tasks from src until cfg.Duration, lets in-flight work
 // settle, and returns the run's statistics. It may be called once.
 func (e *Engine) Run(src workload.Source) metrics.RunStats {
+	return e.RunCtx(context.Background(), src)
+}
+
+// RunCtx is Run under cooperative cancellation: the context is polled
+// only at quiescent checkpoints — chunk boundaries on the classic
+// kernel, phase barriers on the sharded one — so an uncancelled run
+// fires exactly the same events in exactly the same order as Run, and
+// determinism is untouched. When the context is cancelled the loop
+// stops at the next checkpoint, Canceled() reports true, and the
+// returned stats are the partial accumulation so far: in-flight work
+// has not settled, so they must not be validated, compared, or blessed.
+func (e *Engine) RunCtx(ctx context.Context, src workload.Source) metrics.RunStats {
 	if e.shards == 1 {
-		e.scheduleNext(src)
-		e.sched.RunUntil(e.cfg.Duration)
-		// Grace period: no new arrivals (scheduleNext stops generating),
-		// but in-flight migrations and deliveries complete. Message costs
-		// incurred after Duration are outside the measurement window by
-		// definition.
-		e.sched.RunUntil(e.settleEnd())
+		e.runSingle(ctx, src)
 	} else {
-		e.runSharded(src)
+		e.runSharded(ctx, src)
+	}
+	if e.canceled {
+		return e.Stats()
 	}
 	st := e.Stats()
 	if err := st.Validate(); err != nil {
 		panic(err) // engine bug, not user error: fail loudly
 	}
 	return st
+}
+
+// Canceled reports whether the last Run/RunCtx stopped early because
+// its context was cancelled.
+func (e *Engine) Canceled() bool { return e.canceled }
+
+// checkpointEvery returns the sim-time stride between run-loop
+// checkpoints (progress snapshots and cancellation polls).
+func (e *Engine) checkpointEvery() sim.Time {
+	if e.cfg.ProgressEvery > 0 {
+		return e.cfg.ProgressEvery
+	}
+	return e.cfg.Duration / 64
+}
+
+// firedTotal sums events executed across the global and shard queues.
+func (e *Engine) firedTotal() uint64 {
+	n := e.sched.Fired()
+	if e.shards > 1 {
+		for _, c := range e.ctxs {
+			n += c.sched.Fired()
+		}
+	}
+	return n
+}
+
+// checkpoint polls the context and emits a progress snapshot. It must
+// only be called from quiescent points (no event mid-execution); it
+// reports false when the run should stop.
+func (e *Engine) checkpoint(ctx context.Context, now sim.Time) bool {
+	if e.cfg.OnProgress != nil {
+		e.cfg.OnProgress(Progress{Now: now, End: e.cfg.Duration, Events: e.firedTotal(), Stats: e.Stats()})
+	}
+	if ctx.Err() != nil {
+		e.canceled = true
+		return false
+	}
+	return true
+}
+
+// needsCheckpoints reports whether the run loop has any reason to pause
+// at checkpoints; without either consumer the classic kernel keeps its
+// original two-call RunUntil shape.
+func (e *Engine) needsCheckpoints(ctx context.Context) bool {
+	return e.cfg.OnProgress != nil || ctx.Done() != nil
+}
+
+// runSingle is RunCtx's classic-kernel body. With no context or
+// progress consumer it degenerates to the original pair of RunUntil
+// calls; otherwise it runs the same events in the same order, pausing
+// every checkpointEvery sim-seconds — RunUntil(a) then RunUntil(b)
+// fires the identical sequence as RunUntil(b), because the heap order
+// is a pure function of the pending events.
+func (e *Engine) runSingle(ctx context.Context, src workload.Source) {
+	e.scheduleNext(src)
+	if !e.needsCheckpoints(ctx) {
+		e.sched.RunUntil(e.cfg.Duration)
+		// Grace period: no new arrivals (scheduleNext stops generating),
+		// but in-flight migrations and deliveries complete. Message costs
+		// incurred after Duration are outside the measurement window by
+		// definition.
+		e.sched.RunUntil(e.settleEnd())
+		return
+	}
+	step := e.checkpointEvery()
+	for t := step; t < e.cfg.Duration; t += step {
+		e.sched.RunUntil(t)
+		if !e.checkpoint(ctx, t) {
+			return
+		}
+	}
+	e.sched.RunUntil(e.cfg.Duration)
+	if !e.checkpoint(ctx, e.cfg.Duration) {
+		return
+	}
+	// settleEnd reads the live graph, so — like the unchunked path — it
+	// is computed only after the measurement window closed.
+	end := e.settleEnd()
+	for t := e.cfg.Duration + step; t < end; t += step {
+		e.sched.RunUntil(t)
+		if !e.checkpoint(ctx, t) {
+			return
+		}
+	}
+	e.sched.RunUntil(end)
+	e.checkpoint(ctx, end)
 }
 
 // Stats returns the statistics accumulated so far (useful mid-run in

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"realtor/internal/rng"
+	"realtor/internal/sim"
+	"realtor/internal/workload"
+)
+
+// runCtx runs one engine with the given context, shard count, and
+// progress hook, returning the engine and its stats.
+func runCtx(t *testing.T, ctx context.Context, shards int, onProgress func(Progress)) (*Engine, interface{ Canceled() bool }) {
+	t.Helper()
+	cfg := testEngineConfig()
+	cfg.Shards = shards
+	cfg.OnProgress = onProgress
+	e := New(cfg, builders()["realtor"])
+	src := workload.NewPoisson(6, 5, cfg.Graph.N(), rng.New(cfg.Seed))
+	e.RunCtx(ctx, src)
+	return e, e
+}
+
+// A run under context + progress observation must be byte-identical to
+// a plain Run: checkpoints fire only from quiescent points and schedule
+// nothing, so they cannot perturb the canonical event order.
+func TestRunCtxByteIdenticalToRun(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := testEngineConfig()
+			cfg.Shards = shards
+			plain := New(cfg, builders()["realtor"])
+			want := plain.Run(workload.NewPoisson(6, 5, cfg.Graph.N(), rng.New(cfg.Seed)))
+
+			var snaps []Progress
+			cfg2 := cfg
+			cfg2.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+			obs := New(cfg2, builders()["realtor"])
+			got := obs.RunCtx(context.Background(), workload.NewPoisson(6, 5, cfg.Graph.N(), rng.New(cfg.Seed)))
+
+			if got != want {
+				t.Fatalf("observed run diverged from plain run:\n%+v\n%+v", got, want)
+			}
+			if obs.Canceled() {
+				t.Fatal("uncancelled run reported Canceled")
+			}
+			if len(snaps) < 2 {
+				t.Fatalf("expected several progress snapshots, got %d", len(snaps))
+			}
+			for i := 1; i < len(snaps); i++ {
+				if snaps[i].Now < snaps[i-1].Now || snaps[i].Events < snaps[i-1].Events {
+					t.Fatalf("progress went backwards at %d: %+v -> %+v", i, snaps[i-1], snaps[i])
+				}
+			}
+			last := snaps[len(snaps)-1]
+			if last.Stats != want {
+				t.Fatalf("final snapshot stats diverged:\n%+v\n%+v", last.Stats, want)
+			}
+			if last.End != cfg.Duration {
+				t.Fatalf("snapshot End = %v, want %v", last.End, cfg.Duration)
+			}
+		})
+	}
+}
+
+// Cancelling mid-run stops the loop at the next checkpoint: the engine
+// reports Canceled, the clock rests far short of the full run, and the
+// partial stats come back without tripping conservation validation.
+func TestRunCtxCancelStopsPromptly(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			var cutoff sim.Time
+			calls := 0
+			e, _ := runCtx(t, ctx, shards, func(p Progress) {
+				calls++
+				if calls == 3 {
+					cutoff = p.Now
+					cancel()
+				}
+			})
+			if !e.Canceled() {
+				t.Fatal("cancelled run did not report Canceled")
+			}
+			if cutoff <= 0 || cutoff >= testEngineConfig().Duration/2 {
+				t.Fatalf("cancellation checkpoint at %v, want early in the run", cutoff)
+			}
+			if now := e.Scheduler().Now(); now > cutoff+2*e.checkpointEvery() {
+				t.Fatalf("clock ran to %v after cancel at %v — not prompt", now, cutoff)
+			}
+		})
+	}
+}
+
+// A context cancelled before the run starts stops at the first
+// checkpoint, so almost nothing executes.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, shards := range []int{1, 4} {
+		e, _ := runCtx(t, ctx, shards, nil)
+		if !e.Canceled() {
+			t.Fatalf("shards=%d: pre-cancelled run did not report Canceled", shards)
+		}
+		if now := e.Scheduler().Now(); now > e.checkpointEvery()+1 {
+			t.Fatalf("shards=%d: clock ran to %v on a pre-cancelled context", shards, now)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -194,16 +195,21 @@ func (e *Engine) outcomeCtx(c *shardCtx, t workload.Task, admitted bool) {
 }
 
 // runSharded is Engine.Run's parallel body: drive arrivals to Duration,
-// then settle, both under the phase coordinator.
-func (e *Engine) runSharded(src workload.Source) {
+// then settle, both under the phase coordinator. Cancellation and
+// progress land only at barriers — between phases every worker is idle
+// and per-node state quiescent, so a checkpoint there never races a
+// firing event and never perturbs the canonical event order.
+func (e *Engine) runSharded(ctx context.Context, src workload.Source) {
 	e.startWorkers()
 	defer e.stopWorkers()
 	e.pullSrc = src
 	e.pull, e.pullOK = src.Next()
-	e.coordinate(e.cfg.Duration)
+	if !e.coordinate(ctx, e.cfg.Duration) {
+		return
+	}
 	// settleEnd reads the live graph, so compute it — like the
 	// single-shard path — only after the measurement window closed.
-	e.coordinate(e.settleEnd())
+	e.coordinate(ctx, e.settleEnd())
 }
 
 func (e *Engine) startWorkers() {
@@ -228,12 +234,28 @@ func (e *Engine) stopWorkers() {
 // coordinate runs the conservative phase loop until every queue and the
 // arrival stream are exhausted up to `until`, leaving all clocks at
 // exactly `until` (mirroring Scheduler.RunUntil, which fires events with
-// timestamps ≤ end).
-func (e *Engine) coordinate(until sim.Time) {
+// timestamps ≤ end). It reports false when the context cancelled the
+// loop at a barrier; the clocks then rest wherever the last phase left
+// them and no further events fire.
+func (e *Engine) coordinate(ctx context.Context, until sim.Time) bool {
+	// Checkpoints (progress + cancellation polls) ride the barrier the
+	// phase loop already takes; the stride only throttles how often —
+	// barriers can be far more frequent than anyone wants callbacks.
+	check := e.needsCheckpoints(ctx)
+	step := e.checkpointEvery()
+	nextCk := e.sched.Now() + step
 	// endKey admits every real event at `until` (real namespaces are all
 	// < MaxInt32), exactly like RunUntil's inclusive boundary.
 	endKey := sim.EventKey{When: until, Src: math.MaxInt32, Seq: math.MaxUint64}
 	for {
+		if check && e.sched.Now() >= nextCk {
+			if !e.checkpoint(ctx, e.sched.Now()) {
+				return false
+			}
+			for nextCk <= e.sched.Now() {
+				nextCk += step
+			}
+		}
 		// Earliest pending work anywhere: shard queues, the global
 		// (external-event) queue, and the not-yet-pulled arrival stream.
 		var tmin sim.Time
@@ -252,7 +274,10 @@ func (e *Engine) coordinate(until sim.Time) {
 		}
 		if !have || tmin > until {
 			e.advanceAll(until)
-			return
+			if check {
+				return e.checkpoint(ctx, until)
+			}
+			return true
 		}
 
 		// The phase horizon: min-pending + lookahead, capped by the next

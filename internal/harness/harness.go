@@ -13,6 +13,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"realtor/internal/check"
@@ -40,9 +42,42 @@ type Backend interface {
 	// Start builds a ready-to-run Instance for the scenario, wiring
 	// hooks as the runtime's trace recorder and message observer. The
 	// protocol under test comes from build (fuzzscen.Builder for the
-	// honest path, fuzzscen.MutantBuilder for mutation testing).
-	Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error)
+	// honest path, fuzzscen.MutantBuilder for mutation testing). probe
+	// configures periodic progress reporting; the zero Probe disables it.
+	Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks, probe Probe) (Instance, error)
 }
+
+// Probe asks a backend for periodic progress snapshots during Run.
+// Backends invoke OnProgress only from quiescent points of their run
+// loop (the simulator's checkpoint barriers; the live cluster's drive
+// goroutine), so a run observed through a probe stays byte-identical
+// to an unobserved one on the deterministic backend.
+type Probe struct {
+	// OnProgress receives snapshots; nil disables probing.
+	OnProgress func(Progress)
+
+	// Every is the minimum scaled-seconds between snapshots; 0 picks a
+	// backend default (Duration/64).
+	Every sim.Time
+}
+
+// Progress is one live snapshot of a running scenario.
+type Progress struct {
+	Now    sim.Time // backend clock, scaled seconds
+	End    sim.Time // scenario duration (the clock runs past it while settling)
+	Events uint64   // events fired so far (0 on backends without an event counter)
+	Stats  metrics.RunStats
+
+	// Violations counts oracle findings so far (including dropped ones);
+	// filled in by RunCheckedOpts, always 0 for a bare Backend.Start.
+	Violations int
+}
+
+// ErrCanceled is returned by RunCheckedOpts when the run's context was
+// cancelled: the scenario stopped mid-flight, so there is no outcome —
+// partial stats would fail conservation audits by construction and must
+// never be compared or blessed.
+var ErrCanceled = errors.New("harness: run canceled")
 
 // Instance is one prepared run.
 type Instance interface {
@@ -51,8 +86,14 @@ type Instance interface {
 
 	// Run drives the scenario's workload and fault schedule to
 	// completion (including any settling the runtime needs) and returns
-	// the aggregated run statistics.
-	Run() metrics.RunStats
+	// the aggregated run statistics. Cancelling the context stops the
+	// run at the backend's next cancellation point; Canceled then
+	// reports true and the returned stats are partial.
+	Run(ctx context.Context) metrics.RunStats
+
+	// Canceled reports whether the last Run stopped early on a done
+	// context.
+	Canceled() bool
 
 	// Now returns the backend clock after Run (scaled seconds).
 	Now() sim.Time
@@ -160,6 +201,21 @@ type RunOptions struct {
 	// consumers (a DecisionLog, a JSONL file, …).
 	Trace    trace.Recorder
 	Observer trace.MessageObserver
+
+	// Ctx, when non-nil, cancels the run cooperatively: RunCheckedOpts
+	// then returns ErrCanceled instead of an Outcome. nil means
+	// context.Background().
+	Ctx context.Context
+
+	// OnProgress, when set, receives periodic progress snapshots —
+	// including the oracle's running violation count — from the
+	// backend's quiescent checkpoints. It must not block for long: on
+	// the simulator the run loop waits on it.
+	OnProgress func(Progress)
+
+	// ProgressEvery is the minimum scaled-seconds between snapshots
+	// (0 = backend default of Duration/64).
+	ProgressEvery sim.Time
 }
 
 // RunChecked executes one scenario on the given backend with the
@@ -169,18 +225,40 @@ func RunChecked(b Backend, s fuzzscen.Scenario, build engine.Builder) (Outcome, 
 	return RunCheckedOpts(b, s, build, RunOptions{})
 }
 
-// RunCheckedOpts is RunChecked with extra event consumers.
+// RunCheckedOpts is RunChecked with extra event consumers, cooperative
+// cancellation, and progress probing.
 func RunCheckedOpts(b Backend, s fuzzscen.Scenario, build engine.Builder, opt RunOptions) (Outcome, error) {
 	hooks := &Hooks{}
 	hooks.Tee(opt.Trace, opt.Observer)
-	inst, err := b.Start(s, build, hooks)
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The probe closure reads the oracle assigned below — safe because
+	// backends fire progress only from (or after) Run, which starts
+	// strictly after the assignment, and the violation read serializes
+	// behind the hooks mutex the emitting callbacks hold.
+	var o *check.Oracle
+	probe := Probe{Every: opt.ProgressEvery}
+	if opt.OnProgress != nil {
+		probe.OnProgress = func(p Progress) {
+			hooks.locked(func() { p.Violations = len(o.Violations()) + o.Dropped() })
+			opt.OnProgress(p)
+		}
+	}
+	inst, err := b.Start(s, build, hooks, probe)
 	if err != nil {
 		return Outcome{}, err
 	}
 	defer inst.Close()
-	o := check.NewWorldOracle(inst.World(), b.Slack())
+	o = check.NewWorldOracle(inst.World(), b.Slack())
 	hooks.Bind(o)
-	stats := inst.Run()
+	stats := inst.Run(ctx)
+	if inst.Canceled() {
+		// No outcome: the end-of-run audits assume a settled system, and
+		// partial stats fail conservation by construction.
+		return Outcome{}, ErrCanceled
+	}
 	now := inst.Now()
 	// Per-node audits run in each node's safe context, taking the event
 	// mutex INSIDE that context (taking it outside would deadlock: the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -66,7 +67,7 @@ func (liveBackend) Name() string { return "live" }
 func (b liveBackend) Slack() sim.Time { return b.cfg.Slack }
 
 // Start implements Backend.
-func (b liveBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error) {
+func (b liveBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks, probe Probe) (Instance, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,15 +114,18 @@ func (b liveBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hoo
 		c:      c,
 		s:      s,
 		g:      s.Graph(),
+		probe:  probe,
 		faults: newLiveFaults(c, fn, base, hooks, s.Events),
 	}, nil
 }
 
 type liveInstance struct {
-	c      *agile.Cluster
-	s      fuzzscen.Scenario
-	g      *topology.Graph
-	faults *liveFaults
+	c        *agile.Cluster
+	s        fuzzscen.Scenario
+	g        *topology.Graph
+	probe    Probe
+	faults   *liveFaults
+	canceled bool
 
 	closeOnce sync.Once
 }
@@ -131,12 +135,58 @@ func (i *liveInstance) World() check.World { return liveWorld{c: i.c} }
 
 // Run implements Instance: the fault schedule runs on wall-clock timers
 // concurrently with the workload drive, exactly as the simulator's
-// attack scenarios run concurrently with its arrival events.
-func (i *liveInstance) Run() metrics.RunStats {
+// attack scenarios run concurrently with its arrival events. Progress —
+// when probed — ticks on its own goroutine (the live backend is
+// wall-clock anyway, so snapshots need no quiescent barrier; RunStats
+// aggregates under the hosts' own synchronization). Events is 0: the
+// live runtime has no event counter.
+func (i *liveInstance) Run(ctx context.Context) metrics.RunStats {
+	stopProbe := i.startProbe()
 	i.faults.start()
-	st := i.c.DriveSource(i.s.Workload(i.g), i.s.Duration)
+	st, canceled := i.c.DriveSourceCtx(ctx, i.s.Workload(i.g), i.s.Duration)
+	i.canceled = canceled
 	i.faults.stop()
+	stopProbe()
 	return st
+}
+
+// Canceled implements Instance.
+func (i *liveInstance) Canceled() bool { return i.canceled }
+
+// startProbe launches the progress ticker (a no-op without a probe) and
+// returns its stop function.
+func (i *liveInstance) startProbe() func() {
+	if i.probe.OnProgress == nil {
+		return func() {}
+	}
+	every := i.probe.Every
+	if every <= 0 {
+		every = sim.Time(i.s.Duration) / 64
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(i.c.ToWall(float64(every)))
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				i.probe.OnProgress(Progress{
+					Now:   sim.Time(i.c.Now()),
+					End:   sim.Time(i.s.Duration),
+					Stats: i.c.RunStats(),
+				})
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
 }
 
 // Now implements Instance.

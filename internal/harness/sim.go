@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"realtor/internal/check"
 	"realtor/internal/engine"
 	"realtor/internal/fuzzscen"
@@ -35,7 +37,7 @@ func (simBackend) Name() string { return "sim" }
 func (simBackend) Slack() sim.Time { return 0 }
 
 // Start implements Backend.
-func (b simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks) (Instance, error) {
+func (b simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hooks, probe Probe) (Instance, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,6 +47,14 @@ func (b simBackend) Start(s fuzzscen.Scenario, build engine.Builder, hooks *Hook
 	cfg.Observer = hooks
 	cfg.Shards = b.shards
 	cfg.InlineHooks = true
+	if probe.OnProgress != nil {
+		// Engine checkpoints fire only from quiescent points of the run
+		// loop, so forwarding them cannot perturb the event order.
+		cfg.OnProgress = func(p engine.Progress) {
+			probe.OnProgress(Progress{Now: p.Now, End: p.End, Events: p.Events, Stats: p.Stats})
+		}
+		cfg.ProgressEvery = probe.Every
+	}
 	e := engine.New(cfg, build)
 	for _, a := range s.Attacks() {
 		a.Apply(e)
@@ -62,9 +72,12 @@ type simInstance struct {
 func (i *simInstance) World() check.World { return check.EngineWorld{E: i.e} }
 
 // Run implements Instance.
-func (i *simInstance) Run() metrics.RunStats {
-	return i.e.Run(i.s.Workload(i.g))
+func (i *simInstance) Run(ctx context.Context) metrics.RunStats {
+	return i.e.RunCtx(ctx, i.s.Workload(i.g))
 }
+
+// Canceled implements Instance.
+func (i *simInstance) Canceled() bool { return i.e.Canceled() }
 
 // Now implements Instance.
 func (i *simInstance) Now() sim.Time { return i.e.Scheduler().Now() }

@@ -1,0 +1,137 @@
+package runsvc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// historyStore is the append-only run history: terminal JobViews, one
+// compact JSON object per line. The file is the source of truth across
+// daemon restarts — New replays it so Get/List/Compare see past runs
+// and new IDs continue after the highest recorded sequence. Appends are
+// terminal-state-only by construction (only finish and queued-cancel
+// write), so a record never needs updating in place; a crash mid-run
+// simply leaves that run unrecorded, which is the honest outcome.
+type historyStore struct {
+	mu   sync.Mutex
+	path string // "" = memory only
+	f    *os.File
+	byID map[string]JobView
+	ids  []string // append order
+}
+
+// openHistory loads (or creates) the JSONL history at path. An empty
+// path yields a memory-only store.
+func openHistory(path string) (*historyStore, error) {
+	h := &historyStore{path: path, byID: map[string]JobView{}}
+	if path == "" {
+		return h, nil
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runsvc: history: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runsvc: history: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // summaries are small; specs in errors can be long
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var v JobView
+		if err := json.Unmarshal([]byte(text), &v); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runsvc: history %s:%d: %w", path, line, err)
+		}
+		if _, dup := h.byID[v.ID]; !dup {
+			h.ids = append(h.ids, v.ID)
+		}
+		h.byID[v.ID] = v // last record wins on duplicates
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runsvc: history %s: %w", path, err)
+	}
+	h.f = f
+	return h, nil
+}
+
+// maxSeq returns the highest run-NNNNNN sequence number on record, so
+// new IDs continue rather than collide after a restart.
+func (h *historyStore) maxSeq() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	max := 0
+	for id := range h.byID {
+		if n, ok := parseSeq(id); ok && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func parseSeq(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "run-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// append records one terminal view, durably when file-backed.
+func (h *historyStore) append(v JobView) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.byID[v.ID]; !dup {
+		h.ids = append(h.ids, v.ID)
+	}
+	h.byID[v.ID] = v
+	if h.f == nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return // JobView always marshals; nothing sane to do here anyway
+	}
+	b = append(b, '\n')
+	h.f.Write(b)
+}
+
+// get returns one recorded view.
+func (h *historyStore) get(id string) (JobView, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.byID[id]
+	return v, ok
+}
+
+// list returns every recorded view sorted by ID (run IDs are
+// zero-padded, so lexicographic order is submission order).
+func (h *historyStore) list() []JobView {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]JobView, 0, len(h.ids))
+	for _, id := range h.ids {
+		out = append(out, h.byID[id])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

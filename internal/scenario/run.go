@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"realtor/internal/fuzzscen"
 	"realtor/internal/harness"
+	"realtor/internal/sim"
 )
 
 // SpecFile and GoldenFile are the two files a package directory holds.
@@ -105,6 +107,20 @@ func (r Result) Explain() string {
 	return b.String()
 }
 
+// RunConfig tunes RunWith beyond the defaults Run uses.
+type RunConfig struct {
+	// Ctx cancels the run cooperatively; RunWith then returns
+	// harness.ErrCanceled (wrapped) and no Result. nil = Background.
+	Ctx context.Context
+
+	// OnProgress receives periodic snapshots (see harness.RunOptions).
+	OnProgress func(harness.Progress)
+
+	// ProgressEvery is the minimum scaled-seconds between snapshots
+	// (0 = backend default).
+	ProgressEvery sim.Time
+}
+
 // Run executes the package on the backend with the invariant oracle
 // attached, summarizes the run, and applies the gate: expect bands on
 // every backend, the golden comparison only on the deterministic
@@ -112,9 +128,22 @@ func (r Result) Explain() string {
 // is reproducible only statistically, so pinning its digest would make
 // the gate flaky rather than strict.
 func Run(p *Package, be harness.Backend, shards int) (Result, error) {
+	return RunWith(p, be, shards, RunConfig{})
+}
+
+// RunWith is Run under a RunConfig: same gate, plus cooperative
+// cancellation and progress probing. A cancelled run yields
+// harness.ErrCanceled and no Result — partial summaries must never
+// reach the gate or a golden.
+func RunWith(p *Package, be harness.Backend, shards int, rc RunConfig) (Result, error) {
 	s := p.Spec.Effective()
 	dig := &Digest{}
-	out, err := harness.RunCheckedOpts(be, s, fuzzscen.Builder(s), harness.RunOptions{Trace: dig})
+	out, err := harness.RunCheckedOpts(be, s, fuzzscen.Builder(s), harness.RunOptions{
+		Trace:         dig,
+		Ctx:           rc.Ctx,
+		OnProgress:    rc.OnProgress,
+		ProgressEvery: rc.ProgressEvery,
+	})
 	if err != nil {
 		return Result{}, fmt.Errorf("scenario: %s: %w", p.Spec.Name, err)
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 
@@ -57,6 +58,20 @@ type Summary struct {
 	RejectPct    float64 `json:"reject_pct"`
 	TraceEvents  uint64  `json:"trace_events"`
 	TraceDigest  string  `json:"trace_digest"`
+}
+
+// EncodeSummary renders a summary in its canonical machine-readable
+// byte form: compact JSON, the 14 fields in declaration order, one
+// trailing newline. `realtor-scen run -json` and the daemon's
+// run-history store both emit exactly these bytes — sharing the encoder
+// is what keeps a daemon-side record byte-comparable to a local run
+// (pinned by TestEncodeSummaryCanonicalForm).
+func EncodeSummary(s Summary) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // Summary has no unmarshalable fields
+	}
+	return append(b, '\n')
 }
 
 // NewSummary folds run stats and the trace digest into the canonical

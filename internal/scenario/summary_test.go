@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestEncodeSummaryCanonicalForm pins the canonical summary byte form:
+// compact JSON, the 14 fields in declaration order, one trailing
+// newline. `realtor-scen run -json` and the daemon's run-history store
+// both promise exactly these bytes — if this test needs updating, both
+// consumers change together and old stored summaries stop being
+// byte-comparable to new runs. That is a compatibility break; treat it
+// like one.
+func TestEncodeSummaryCanonicalForm(t *testing.T) {
+	s := Summary{
+		Offered:      100,
+		Admitted:     80,
+		Rejected:     20,
+		Migrated:     7,
+		HelpMsgs:     41,
+		PledgeMsgs:   33,
+		AdvertMsgs:   12,
+		ControlMsgs:  5,
+		MessageUnits: 1234.5,
+		AdmissionPct: 80,
+		UnitsPerTask: 15.43125,
+		RejectPct:    20,
+		TraceEvents:  913,
+		TraceDigest:  "00deadbeef00cafe",
+	}
+	want := `{"offered":100,"admitted":80,"rejected":20,"migrated":7,` +
+		`"help_msgs":41,"pledge_msgs":33,"advert_msgs":12,"control_msgs":5,` +
+		`"message_units":1234.5,"admission_pct":80,"units_per_task":15.43125,` +
+		`"reject_pct":20,"trace_events":913,"trace_digest":"00deadbeef00cafe"}` + "\n"
+	if got := string(EncodeSummary(s)); got != want {
+		t.Fatalf("canonical summary encoding drifted:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The canonical bytes must round-trip losslessly.
+	var back Summary
+	if err := json.Unmarshal(EncodeSummary(s), &back); err != nil {
+		t.Fatalf("decode canonical bytes: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip mutated the summary:\n got: %+v\nwant: %+v", back, s)
+	}
+}
